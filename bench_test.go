@@ -1,0 +1,229 @@
+// Benchmarks regenerating every table and figure of the paper, plus
+// microbenchmarks of the underlying engine. Each figure panel has one
+// bench that runs a representative sweep point at a reduced statistical
+// budget (the full-budget sweeps live behind `qfarith fig3` / `fig4`);
+// the benchmark REPORTS the success rate as a custom metric so `go test
+// -bench` output doubles as a small-scale reproduction table.
+package qfarith_test
+
+import (
+	"fmt"
+	"testing"
+
+	"qfarith/internal/arith"
+	"qfarith/internal/experiment"
+	"qfarith/internal/noise"
+	"qfarith/internal/qft"
+	"qfarith/internal/qint"
+	"qfarith/internal/sim"
+	"qfarith/internal/transpile"
+)
+
+// benchBudget keeps bench iterations affordable on one core.
+var benchBudget = experiment.Budget{Instances: 4, Shots: 512, Trajectories: 8}
+
+// --------------------------------------------------------------- Table I
+
+// BenchmarkTable1GateCounts regenerates Table I (both operations, all
+// depths) per iteration and validates the counts against the paper.
+func BenchmarkTable1GateCounts(b *testing.B) {
+	want := map[string][2]int{
+		"qfa-1": {163, 98}, "qfa-2": {199, 122}, "qfa-3": {229, 142},
+		"qfa-4": {253, 158}, "qfa-7": {289, 182},
+		"qfm-1": {1032, 744}, "qfm-2": {1248, 936}, "qfm-full": {1464, 1128},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, d := range []int{1, 2, 3, 4, 7} {
+			c := arith.NewQFA(7, 8, arith.Config{Depth: d, AddCut: arith.FullAdd})
+			one, two := transpile.PaperCounts(c)
+			k := fmt.Sprintf("qfa-%d", d)
+			if w := want[k]; one != w[0] || two != w[1] {
+				b.Fatalf("%s: (%d,%d) != %v", k, one, two, w)
+			}
+		}
+		for _, d := range []int{1, 2, qft.Full} {
+			c := arith.NewQFM(4, 4, arith.Config{Depth: d, AddCut: arith.FullAdd})
+			one, two := transpile.PaperCounts(c)
+			k := fmt.Sprintf("qfm-%d", d)
+			if d == qft.Full {
+				k = "qfm-full"
+			}
+			if w := want[k]; one != w[0] || two != w[1] {
+				b.Fatalf("%s: (%d,%d) != %v", k, one, two, w)
+			}
+		}
+	}
+}
+
+// --------------------------------------------------------------- figures
+
+// figPoint runs one representative point of a figure panel: the
+// "current hardware" rate on that panel's axis (0.2% for 1q, 1.0% for
+// 2q) at AQFT depth 3 for addition and depth 2 for multiplication.
+func figPoint(b *testing.B, geo experiment.Geometry, axis experiment.ErrorAxis, ox, oy int) {
+	depth := 3
+	if geo.Op == experiment.OpMul {
+		depth = 2
+	}
+	model := noise.PaperModel(0.002, 0)
+	if axis == experiment.Axis2Q {
+		model = noise.PaperModel(0, 0.010)
+	}
+	var last experiment.PointResult
+	for i := 0; i < b.N; i++ {
+		cfg := experiment.PointConfig{
+			Geometry: geo, Depth: depth, Model: model,
+			OrderX: ox, OrderY: oy,
+			Instances:    benchBudget.Instances,
+			Shots:        benchBudget.Shots,
+			Trajectories: benchBudget.Trajectories,
+			RowSeed:      77, PointSeed: uint64(i) + 1,
+		}
+		last = experiment.RunPoint(cfg)
+	}
+	b.ReportMetric(last.Stats.SuccessRate, "success%")
+	b.ReportMetric(float64(last.Native2q), "cx_gates")
+}
+
+// Fig. 3 — QFA success rates (panels a–f).
+func BenchmarkFig3a_QFA_1q_11(b *testing.B) {
+	figPoint(b, experiment.PaperAddGeometry(), experiment.Axis1Q, 1, 1)
+}
+func BenchmarkFig3b_QFA_2q_11(b *testing.B) {
+	figPoint(b, experiment.PaperAddGeometry(), experiment.Axis2Q, 1, 1)
+}
+func BenchmarkFig3c_QFA_1q_12(b *testing.B) {
+	figPoint(b, experiment.PaperAddGeometry(), experiment.Axis1Q, 1, 2)
+}
+func BenchmarkFig3d_QFA_2q_12(b *testing.B) {
+	figPoint(b, experiment.PaperAddGeometry(), experiment.Axis2Q, 1, 2)
+}
+func BenchmarkFig3e_QFA_1q_22(b *testing.B) {
+	figPoint(b, experiment.PaperAddGeometry(), experiment.Axis1Q, 2, 2)
+}
+func BenchmarkFig3f_QFA_2q_22(b *testing.B) {
+	figPoint(b, experiment.PaperAddGeometry(), experiment.Axis2Q, 2, 2)
+}
+
+// Fig. 4 — QFM success rates (panels a–f).
+func BenchmarkFig4a_QFM_1q_11(b *testing.B) {
+	figPoint(b, experiment.PaperMulGeometry(), experiment.Axis1Q, 1, 1)
+}
+func BenchmarkFig4b_QFM_2q_11(b *testing.B) {
+	figPoint(b, experiment.PaperMulGeometry(), experiment.Axis2Q, 1, 1)
+}
+func BenchmarkFig4c_QFM_1q_12(b *testing.B) {
+	figPoint(b, experiment.PaperMulGeometry(), experiment.Axis1Q, 1, 2)
+}
+func BenchmarkFig4d_QFM_2q_12(b *testing.B) {
+	figPoint(b, experiment.PaperMulGeometry(), experiment.Axis2Q, 1, 2)
+}
+func BenchmarkFig4e_QFM_1q_22(b *testing.B) {
+	figPoint(b, experiment.PaperMulGeometry(), experiment.Axis1Q, 2, 2)
+}
+func BenchmarkFig4f_QFM_2q_22(b *testing.B) {
+	figPoint(b, experiment.PaperMulGeometry(), experiment.Axis2Q, 2, 2)
+}
+
+// BenchmarkAblateAddCut is the E6 ablation: QFA with the addition-step
+// rotation cutoff the paper defers to future work.
+func BenchmarkAblateAddCut(b *testing.B) {
+	var last experiment.PointResult
+	for i := 0; i < b.N; i++ {
+		cfg := experiment.PointConfig{
+			Geometry: experiment.PaperAddGeometry(),
+			Depth:    qft.Full,
+			Model:    noise.PaperModel(0, 0.01),
+			OrderX:   2, OrderY: 2,
+			Instances:    benchBudget.Instances,
+			Shots:        benchBudget.Shots,
+			Trajectories: benchBudget.Trajectories,
+			RowSeed:      7, PointSeed: uint64(i) + 1,
+		}
+		last = experiment.RunPointCfg(cfg, arith.Config{Depth: qft.Full, AddCut: 3})
+	}
+	b.ReportMetric(last.Stats.SuccessRate, "success%")
+}
+
+// ----------------------------------------------------------- microbench
+
+func BenchmarkQFTApply8(b *testing.B) {
+	c := qft.New(8, qft.Full)
+	st := sim.NewState(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.ApplyCircuit(c)
+	}
+}
+
+func BenchmarkQFAApplyPaperGeometry(b *testing.B) {
+	c := arith.NewQFA(7, 8, arith.DefaultConfig())
+	st := sim.NewState(15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.ApplyCircuit(c)
+	}
+}
+
+func BenchmarkQFMApplyPaperGeometry(b *testing.B) {
+	c := arith.NewQFM(4, 4, arith.DefaultConfig())
+	st := sim.NewState(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.ApplyCircuit(c)
+	}
+}
+
+func BenchmarkNoisyTrajectoryQFA(b *testing.B) {
+	res := experiment.PaperAddGeometry().BuildCircuit(qft.Full)
+	engine := noise.NewEngine(res, noise.PaperModel(0.002, 0.01))
+	st := sim.NewState(15)
+	rng := sim.NewSampler(1, 2).Rand()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events := engine.SampleConditional(rng)
+		st.SetBasis(0)
+		engine.RunTrajectory(st, events)
+	}
+}
+
+func BenchmarkNoisyTrajectoryQFM(b *testing.B) {
+	res := experiment.PaperMulGeometry().BuildCircuit(qft.Full)
+	engine := noise.NewEngine(res, noise.PaperModel(0.002, 0.01))
+	st := sim.NewState(16)
+	rng := sim.NewSampler(3, 4).Rand()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events := engine.SampleConditional(rng)
+		st.SetBasis(0)
+		engine.RunTrajectory(st, events)
+	}
+}
+
+func BenchmarkTranspileQFM(b *testing.B) {
+	c := arith.NewQFM(4, 4, arith.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		transpile.Transpile(c)
+	}
+}
+
+func BenchmarkStatePrepare8(b *testing.B) {
+	q := qint.NewUniform(8, 7, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qint.Prepare(q)
+	}
+}
+
+func BenchmarkSampler2048Shots(b *testing.B) {
+	probs := make([]float64, 256)
+	for i := range probs {
+		probs[i] = 1.0 / 256
+	}
+	s := sim.NewSampler(9, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Counts(probs, 2048)
+	}
+}

@@ -1,0 +1,58 @@
+package qfarith
+
+import (
+	"qfarith/internal/arith"
+	"qfarith/internal/circuit"
+	"qfarith/internal/qft"
+	"qfarith/internal/transpile"
+)
+
+// circuitAlias/circuitNew keep the façade free of a direct exported
+// dependency on the internal circuit type while reusing it internally.
+type circuitAlias = circuit.Circuit
+
+func circuitNew(n int) *circuitAlias { return circuit.New(n) }
+
+// CircuitInfo describes a constructed arithmetic circuit without
+// exposing the internal IR.
+type CircuitInfo struct {
+	Qubits   int
+	Ops      int
+	Depth    int // circuit depth (ASAP layering), not the AQFT depth
+	Gates    GateCounts
+	Listing  string // OpenQASM-like gate listing
+	AQFTFull bool   // whether the AQFT depth left the transform exact
+}
+
+func describe(c *circuitAlias, aqftDepth, regWidth int) CircuitInfo {
+	r := transpile.Transpile(c)
+	n1, n2 := r.CountByArity()
+	p1, p2 := transpile.PaperCounts(c)
+	return CircuitInfo{
+		Qubits:   c.NumQubits,
+		Ops:      len(c.Ops),
+		Depth:    c.Depth(),
+		Gates:    GateCounts{Paper1q: p1, Paper2q: p2, Native1q: n1, Native2q: n2},
+		Listing:  c.String(),
+		AQFTFull: qft.IsFull(aqftDepth, regWidth),
+	}
+}
+
+// DescribeAdder reports the structure of the QFA circuit for an
+// xbits-wide addend and ybits-wide sum register at the given AQFT depth.
+func DescribeAdder(xbits, ybits, depth int) CircuitInfo {
+	c := arith.NewQFA(xbits, ybits, arith.Config{Depth: depth, AddCut: arith.FullAdd})
+	return describe(c, depth, ybits)
+}
+
+// DescribeMultiplier reports the structure of the QFM circuit for n- and
+// m-qubit multiplicands at the given AQFT depth.
+func DescribeMultiplier(n, m, depth int) CircuitInfo {
+	c := arith.NewQFM(n, m, arith.Config{Depth: depth, AddCut: arith.FullAdd})
+	return describe(c, depth, m+1)
+}
+
+// DescribeQFT reports the structure of the w-qubit AQFT at depth d.
+func DescribeQFT(w, d int) CircuitInfo {
+	return describe(qft.New(w, d), d, w)
+}

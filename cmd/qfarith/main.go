@@ -1,0 +1,368 @@
+// Command qfarith regenerates the paper's evaluation artifacts:
+//
+//	qfarith table1                  — Table I gate counts
+//	qfarith fig3 [flags]            — Fig. 3 QFA success-rate sweeps
+//	qfarith fig4 [flags]            — Fig. 4 QFM success-rate sweeps
+//	qfarith claim-2q [flags]        — the conclusions' 1:2 vs 2:2 2q-rate claim
+//	qfarith ablate-addcut [flags]   — approximate addition-step ablation (E6)
+//	qfarith ablate-routing [flags]  — qubit-connectivity ablation (E7)
+//	qfarith scaling [flags]         — register-width scaling (E10)
+//	qfarith shor [flags]            — noisy gate-level order finding (E11)
+//	qfarith report [files]          — summarize recorded panel CSVs (E5)
+//	qfarith thermal [flags]         — composite gate+thermal+readout noise (E9)
+//	qfarith qasm [flags]            — OpenQASM 2.0 export
+//	qfarith demo                    — one noisy instance, counts histogram
+//
+// Sweep flags: -budget quick|standard|full (or -instances/-shots/-traj to
+// override), -out DIR for CSV output, -seed N.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"qfarith/internal/arith"
+	"qfarith/internal/experiment"
+	"qfarith/internal/metrics"
+	"qfarith/internal/noise"
+	"qfarith/internal/qft"
+	"qfarith/internal/sim"
+	"qfarith/internal/transpile"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "table1":
+		runTable1()
+	case "fig3":
+		runFigure(args, experiment.PaperAddGeometry(), experiment.AddDepths, "fig3")
+	case "fig4":
+		runFigure(args, experiment.PaperMulGeometry(), experiment.MulDepths, "fig4")
+	case "claim-2q":
+		runClaim2Q(args)
+	case "ablate-addcut":
+		runAblateAddCut(args)
+	case "demo":
+		runDemo()
+	case "qasm":
+		runQASM(args)
+	case "thermal":
+		runThermal(args)
+	case "ablate-routing":
+		runAblateRouting(args)
+	case "report":
+		runReport(args)
+	case "scaling":
+		runScaling(args)
+	case "shor":
+		runShor(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: qfarith <table1|fig3|fig4|claim-2q|ablate-addcut|ablate-routing|scaling|shor|report|demo|qasm|thermal> [flags]")
+}
+
+// ---------------------------------------------------------------- table1
+
+func runTable1() {
+	fmt.Println("Table I — Arithmetic Circuit Gate Counts (paper counting convention)")
+	fmt.Println()
+	fmt.Println("QFA (n=8: 7-qubit addend, 8-qubit sum register)")
+	fmt.Printf("%-8s %8s %8s %14s %14s\n", "depth", "1q", "2q", "native-1q", "native-2q")
+	for _, d := range []int{1, 2, 3, 4, 7} {
+		c := arith.NewQFA(7, 8, arith.Config{Depth: d, AddCut: arith.FullAdd})
+		one, two := transpile.PaperCounts(c)
+		r := transpile.Transpile(c)
+		n1, n2 := r.CountByArity()
+		label := fmt.Sprintf("%d", d)
+		if d == 7 {
+			label = "7 (full)"
+		}
+		fmt.Printf("%-8s %8d %8d %14d %14d\n", label, one, two, n1, n2)
+	}
+	fmt.Println()
+	fmt.Println("QFM (n=4: 4x4 multiplicands, 8-qubit product register)")
+	fmt.Printf("%-8s %8s %8s %14s %14s\n", "depth", "1q", "2q", "native-1q", "native-2q")
+	for _, d := range []int{1, 2, qft.Full} {
+		c := arith.NewQFM(4, 4, arith.Config{Depth: d, AddCut: arith.FullAdd})
+		one, two := transpile.PaperCounts(c)
+		r := transpile.Transpile(c)
+		n1, n2 := r.CountByArity()
+		label := fmt.Sprintf("%d", d)
+		if d == qft.Full {
+			label = "full"
+		}
+		fmt.Printf("%-8s %8d %8d %14d %14d\n", label, one, two, n1, n2)
+	}
+	fmt.Println()
+	fmt.Println("paper reference — QFA 1q: 163/199/229/253/289, 2q: 98/122/142/158/182")
+	fmt.Println("                  QFM 1q: 1032/1248/1464,      2q: 744/936/1128")
+}
+
+// ---------------------------------------------------------------- sweeps
+
+type sweepFlags struct {
+	budget    experiment.Budget
+	outDir    string
+	seed      uint64
+	rates1q   []float64
+	rates2q   []float64
+	axes      []experiment.ErrorAxis
+	orderSets [][2]int
+}
+
+func parseSweepFlags(args []string, name string) sweepFlags {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	budgetName := fs.String("budget", "standard", "quick|standard|full")
+	instances := fs.Int("instances", 0, "override instance count")
+	shots := fs.Int("shots", 0, "override shots per instance")
+	traj := fs.Int("traj", 0, "override conditional trajectories per instance")
+	out := fs.String("out", "results", "output directory for CSV files")
+	seed := fs.Uint64("seed", 20260704, "base RNG seed")
+	axis := fs.String("axis", "both", "1q|2q|both")
+	orders := fs.String("orders", "1:1,1:2,2:2", "comma-separated operand orders")
+	rates := fs.String("rates", "", "override error-rate grid, comma-separated percentages (e.g. 1,2,3,5)")
+	fs.Parse(args)
+
+	var b experiment.Budget
+	switch *budgetName {
+	case "quick":
+		b = experiment.Quick
+	case "standard":
+		b = experiment.Standard
+	case "full":
+		b = experiment.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown budget %q\n", *budgetName)
+		os.Exit(2)
+	}
+	if *instances > 0 {
+		b.Instances = *instances
+	}
+	if *shots > 0 {
+		b.Shots = *shots
+	}
+	if *traj > 0 {
+		b.Trajectories = *traj
+	}
+
+	sf := sweepFlags{budget: b, outDir: *out, seed: *seed,
+		rates1q: experiment.PaperRates1Q, rates2q: experiment.PaperRates2Q}
+	if *rates != "" {
+		var grid []float64
+		for _, tok := range strings.Split(*rates, ",") {
+			var pct float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%g", &pct); err != nil {
+				fmt.Fprintf(os.Stderr, "bad rate %q\n", tok)
+				os.Exit(2)
+			}
+			grid = append(grid, pct/100)
+		}
+		sf.rates1q, sf.rates2q = grid, grid
+	}
+	switch *axis {
+	case "1q":
+		sf.axes = []experiment.ErrorAxis{experiment.Axis1Q}
+	case "2q":
+		sf.axes = []experiment.ErrorAxis{experiment.Axis2Q}
+	case "both":
+		sf.axes = []experiment.ErrorAxis{experiment.Axis1Q, experiment.Axis2Q}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown axis %q\n", *axis)
+		os.Exit(2)
+	}
+	for _, tok := range strings.Split(*orders, ",") {
+		var ox, oy int
+		if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d:%d", &ox, &oy); err != nil {
+			fmt.Fprintf(os.Stderr, "bad orders token %q\n", tok)
+			os.Exit(2)
+		}
+		sf.orderSets = append(sf.orderSets, [2]int{ox, oy})
+	}
+	return sf
+}
+
+func runFigure(args []string, geo experiment.Geometry, depths []int, name string) {
+	sf := parseSweepFlags(args, name)
+	if err := os.MkdirAll(sf.outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	for _, orders := range sf.orderSets {
+		for _, axis := range sf.axes {
+			rates := sf.rates1q
+			if axis == experiment.Axis2Q {
+				rates = sf.rates2q
+			}
+			pc := experiment.PanelConfig{
+				Geometry: geo, Axis: axis,
+				OrderX: orders[0], OrderY: orders[1],
+				Rates: rates, Depths: depths,
+				Budget: sf.budget, Seed: sf.seed,
+			}
+			label := fmt.Sprintf("%s_%s_%d%d", name, axis, orders[0], orders[1])
+			fmt.Printf("== panel %s (%d rates x %d depths) ==\n", label, len(rates), len(depths))
+			res := experiment.RunPanel(pc, func(done, total int, r experiment.PointResult) {
+				fmt.Printf("  [%s %3d/%d] rate=%.2f%% d=%-4s -> %.1f%% success (elapsed %s)\n",
+					label, done, total, pointRate(r)*100,
+					experiment.DepthLabel(r.Config.Depth, 8),
+					r.Stats.SuccessRate, time.Since(start).Round(time.Second))
+			})
+			path := filepath.Join(sf.outDir, label+".csv")
+			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(res.Table())
+			fmt.Println(res.Plot())
+		}
+	}
+	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Second))
+}
+
+func pointRate(r experiment.PointResult) float64 {
+	if r.Config.Model.TwoQubit > 0 {
+		return r.Config.Model.TwoQubit
+	}
+	return r.Config.Model.OneQubit
+}
+
+// ---------------------------------------------------------------- claim-2q
+
+// runClaim2Q reproduces the conclusions' quantitative claim: at the
+// optimal depth, moving from 1:2 to 2:2 addition costs >50% accuracy at
+// the current 2q error rate (1.0%) but only a few percent at the
+// improved rate (0.7%).
+func runClaim2Q(args []string) {
+	sf := parseSweepFlags(args, "claim-2q")
+	geo := experiment.PaperAddGeometry()
+	rates := []float64{0.007, 0.010}
+	fmt.Println("E4 — superposition-order penalty vs 2q error rate (QFA n=8)")
+	for _, orders := range [][2]int{{1, 2}, {2, 2}} {
+		pc := experiment.PanelConfig{
+			Geometry: geo, Axis: experiment.Axis2Q,
+			OrderX: orders[0], OrderY: orders[1],
+			Rates: rates, Depths: experiment.AddDepths,
+			Budget: sf.budget, Seed: sf.seed,
+		}
+		res := experiment.RunPanel(pc, nil)
+		for i, rate := range rates {
+			best := 0.0
+			bestD := 0
+			for j, d := range experiment.AddDepths {
+				if s := res.Points[i][j].Stats.SuccessRate; s > best {
+					best, bestD = s, d
+				}
+			}
+			fmt.Printf("  %d:%d at P2q=%.1f%%: best %.1f%% at depth %s\n",
+				orders[0], orders[1], rate*100, best,
+				experiment.DepthLabel(bestD, 8))
+		}
+	}
+}
+
+// ---------------------------------------------------------------- ablation
+
+// runAblateAddCut sweeps the addition-step rotation cutoff the paper
+// defers to future work (E6): full QFT, varying AddCut, at the
+// current-hardware noise point.
+func runAblateAddCut(args []string) {
+	sf := parseSweepFlags(args, "ablate-addcut")
+	geo := experiment.PaperAddGeometry()
+	fmt.Println("E6 — approximate addition-step ablation (QFA n=8, full AQFT, 2:2)")
+	fmt.Printf("%-10s %12s %12s %12s\n", "addCut", "2q gates", "success@0%", "success@1%2q")
+	for _, cut := range []int{1, 2, 3, 4, 6, 8} {
+		acfg := arith.Config{Depth: qft.Full, AddCut: cut}
+		var succ [2]float64
+		var twoQ int
+		for i, rate := range []float64{0, 0.01} {
+			model := noise.Noiseless
+			if rate > 0 {
+				model = noise.PaperModel(0, rate)
+			}
+			pc := experiment.PointConfig{
+				Geometry: geo, Depth: qft.Full, Model: model,
+				OrderX: 2, OrderY: 2,
+				Instances: sf.budget.Instances, Shots: sf.budget.Shots,
+				Trajectories: sf.budget.Trajectories,
+				RowSeed:      splitMix(sf.seed, 0x22), PointSeed: splitMix(sf.seed, uint64(cut)<<8|uint64(i)),
+			}
+			r := experiment.RunPointCfg(pc, acfg)
+			succ[i] = r.Stats.SuccessRate
+			twoQ = r.Paper2q
+		}
+		label := fmt.Sprintf("%d", cut)
+		if cut >= 8 {
+			label = "full"
+		}
+		fmt.Printf("%-10s %12d %11.1f%% %11.1f%%\n", label, twoQ, succ[0], succ[1])
+	}
+}
+
+func splitMix(base, idx uint64) uint64 {
+	z := base + 0x9e3779b97f4a7c15*(idx+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------- demo
+
+func runDemo() {
+	fmt.Println("demo — one 2:2 QFA instance at current-hardware noise (λ1=0.2%, λ2=1%)")
+	geo := experiment.PaperAddGeometry()
+	res := geo.BuildCircuit(3)
+	engine := noise.NewEngine(res, noise.PaperModel(0.002, 0.01))
+	st := sim.NewState(geo.TotalQubits)
+	initial := make([]complex128, st.Dim())
+	xs, ys := []int{19, 100}, []int{7, 200}
+	amp := complex(0.5, 0)
+	for _, x := range xs {
+		for _, y := range ys {
+			initial[x|y<<7] = amp
+		}
+	}
+	dist := make([]float64, 256)
+	rng := sim.NewSampler(12345, 678)
+	engine.MixtureInto(dist, st, initial, noise.MixtureOpts{Trajectories: 64, Measure: geo.OutReg}, rng.Rand())
+	counts := rng.Counts(dist, 2048)
+	correct := metrics.CorrectSums(xs, ys, 8)
+	fmt.Printf("addends x∈%v, y∈%v; correct sums: %v\n", xs, ys, keys(correct))
+	fmt.Println("top outputs:")
+	for _, v := range metrics.TopOutcomes(counts, 8) {
+		tag := " "
+		if correct[v] {
+			tag = "*"
+		}
+		fmt.Printf("  %s %3d: %4d counts  %s\n", tag, v, counts[v], strings.Repeat("#", counts[v]/16))
+	}
+	score := metrics.Score(counts, correct)
+	fmt.Printf("instance success: %v (margin %d counts)\n", score.Success, score.Margin)
+}
+
+func keys(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package qfarith_test
+
+import (
+	"fmt"
+	"sort"
+
+	"qfarith"
+)
+
+// Example demonstrates the basic add-two-integers flow.
+func Example() {
+	res := qfarith.Add(qfarith.Basis(7, 100), qfarith.Basis(8, 27))
+	fmt.Println(res.TopOutcomes(1)[0], res.Success)
+	// Output: 127 true
+}
+
+// ExampleAdd_superposed shows the paper's headline capability: one
+// circuit execution computes all superposed sums in parallel.
+func ExampleAdd_superposed() {
+	x := qfarith.Uniform(7, 10, 20)
+	y := qfarith.Uniform(8, 1, 2)
+	res := qfarith.Add(x, y)
+	sums := make([]int, 0, len(res.Expected))
+	for v := range res.Expected {
+		sums = append(sums, v)
+	}
+	sort.Ints(sums)
+	fmt.Println(sums, res.Success)
+	// Output: [11 12 21 22] true
+}
+
+// ExampleMul computes a product on the simulated device.
+func ExampleMul() {
+	res := qfarith.Mul(qfarith.Basis(4, 12), qfarith.Basis(4, 13))
+	fmt.Println(res.TopOutcomes(1)[0])
+	// Output: 156
+}
+
+// ExampleSub shows two's-complement wraparound.
+func ExampleSub() {
+	res := qfarith.Sub(qfarith.Basis(7, 100), qfarith.Basis(8, 27))
+	fmt.Println(res.TopOutcomes(1)[0]) // 27-100 = -73 ≡ 183 (mod 256)
+	// Output: 183
+}
+
+// ExampleDescribeAdder inspects circuit structure without simulating.
+func ExampleDescribeAdder() {
+	info := qfarith.DescribeAdder(7, 8, 3)
+	fmt.Println(info.Gates.Paper1q, info.Gates.Paper2q)
+	// Output: 229 142
+}
+
+// ExampleWithNoise runs the paper's current-hardware noise point.
+func ExampleWithNoise() {
+	res := qfarith.Add(qfarith.Basis(7, 100), qfarith.Basis(8, 27),
+		qfarith.WithNoise(0.002, 0.01),
+		qfarith.WithDepth(3),
+		qfarith.WithSeed(42),
+		qfarith.WithTrajectories(32))
+	fmt.Println(res.Success)
+	// Output: true
+}

@@ -1,0 +1,74 @@
+// Depthsweep: the paper's central question — which AQFT approximation
+// depth is optimal at a given machine noise level? This example sweeps
+// depth 1..full for the QFA at several 2q error rates and reports the
+// winner, illustrating Barenco's d ≈ log2(n) heuristic and the paper's
+// observation that the optimum shifts with noise.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"qfarith"
+)
+
+const (
+	instances = 12
+	shots     = 1024
+)
+
+func main() {
+	fmt.Println("optimal AQFT depth for 8-qubit 1:2 Fourier addition")
+	fmt.Printf("(%d random instances per point, %d shots each; log2(8) = 3)\n\n", instances, shots)
+	depths := []int{1, 2, 3, 4, 5, 6, qfarith.FullDepth}
+
+	fmt.Printf("%-8s", "λ2q\\d")
+	for _, d := range depths {
+		fmt.Printf("%8s", label(d))
+	}
+	fmt.Printf("%10s\n", "best")
+
+	for _, p2 := range []float64{0, 0.005, 0.010, 0.020, 0.030} {
+		fmt.Printf("%-8.3f", p2)
+		best, bestRate := 0, -1.0
+		for _, d := range depths {
+			rate := successRate(d, p2)
+			fmt.Printf("%7.0f%%", rate)
+			if rate > bestRate {
+				bestRate, best = rate, d
+			}
+		}
+		fmt.Printf("%10s\n", label(best))
+	}
+	fmt.Println("\nreading: depth 1 hurts even noiselessly (the encoding turns")
+	fmt.Println("nonlinear); at high noise shallow depths win back ground by")
+	fmt.Println("shedding noisy gates — the paper's Fig. 3 trade-off.")
+}
+
+func label(d int) string {
+	if d == qfarith.FullDepth {
+		return "full"
+	}
+	return fmt.Sprintf("%d", d)
+}
+
+func successRate(depth int, p2 float64) float64 {
+	rng := rand.New(rand.NewPCG(42, uint64(depth)<<32|uint64(p2*1e6)))
+	wins := 0
+	for i := 0; i < instances; i++ {
+		x := qfarith.Basis(7, rng.IntN(128))
+		y1 := rng.IntN(256)
+		y2 := (y1 + 1 + rng.IntN(255)) % 256
+		y := qfarith.Uniform(8, y1, y2)
+		res := qfarith.Add(x, y,
+			qfarith.WithSeed(uint64(i)+1),
+			qfarith.WithDepth(depth),
+			qfarith.WithNoise(0, p2),
+			qfarith.WithShots(shots),
+			qfarith.WithTrajectories(24))
+		if res.Success {
+			wins++
+		}
+	}
+	return 100 * float64(wins) / instances
+}

@@ -1,0 +1,68 @@
+// Fullnoise: the paper's future-work regime — gate errors, thermal
+// relaxation (T1/T2), and readout error simulated TOGETHER, then readout
+// mitigation applied. Runs a 1:1 Fourier addition through the composite
+// noise engine and shows how each error source eats into the correct
+// outcome's probability, and how much calibration-matrix mitigation
+// claws back.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"qfarith/internal/arith"
+	"qfarith/internal/experiment"
+	"qfarith/internal/noise"
+	"qfarith/internal/qft"
+	"qfarith/internal/sim"
+)
+
+func main() {
+	geo := experiment.AddGeometry(4, 5)
+	res := geo.BuildCircuit(qft.Full)
+	x, y := 9, 20
+	want := (x + y) & 31
+	initial := make([]complex128, 1<<uint(geo.TotalQubits))
+	initial[x|y<<4] = 1
+
+	fmt.Printf("4+5-qubit Fourier addition %d + %d = %d under composite noise\n", x, y, want)
+	fmt.Printf("(gate depolarizing λ1=0.1%% λ2=0.5%%; T1=20µs T2=15µs; readout flip 3%%)\n\n")
+
+	gates := noise.PaperModel(0.001, 0.005)
+	thermal := noise.ThermalParams{T1: 20e-6, T2: 15e-6, Gate1qTime: 35e-9, Gate2qTime: 300e-9}
+	const readout = 0.03
+	const trajectories = 160
+
+	configs := []struct {
+		name    string
+		model   noise.Model
+		thermal noise.ThermalParams
+		ro      float64
+	}{
+		{"noiseless", noise.Noiseless, noise.ThermalParams{}, 0},
+		{"gate errors only", gates, noise.ThermalParams{}, 0},
+		{"thermal only", noise.Noiseless, thermal, 0},
+		{"readout only", noise.Noiseless, noise.ThermalParams{}, readout},
+		{"everything", gates, thermal, readout},
+	}
+
+	var composite []float64
+	for _, cfg := range configs {
+		fe := noise.NewFullEngine(res, cfg.model, cfg.thermal, cfg.ro)
+		st := sim.NewState(geo.TotalQubits)
+		rng := rand.New(rand.NewPCG(7, 8))
+		dist := fe.EstimateDist(st, initial, geo.OutReg, trajectories, rng)
+		fmt.Printf("%-18s P(correct) = %.3f\n", cfg.name, dist[want])
+		if cfg.name == "everything" {
+			composite = dist
+		}
+	}
+
+	mitigated := noise.MitigateReadout(composite, readout)
+	fmt.Printf("\nafter readout mitigation (calibration-matrix inverse):\n")
+	fmt.Printf("%-18s P(correct) = %.3f  (was %.3f)\n", "everything", mitigated[want], composite[want])
+	fmt.Println("\nmitigation removes the classical readout layer exactly; the")
+	fmt.Println("residual gap to the gate-errors-only row is the quantum damage")
+	fmt.Println("(depolarizing + relaxation) that no measurement-side fix recovers.")
+	_ = arith.FullAdd
+}

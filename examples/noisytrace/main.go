@@ -1,0 +1,59 @@
+// Noisytrace: anatomy of a single noisy arithmetic instance. For one
+// fixed 1:2 addition this renders the full shot histogram as the 2q
+// error rate rises, showing how probability mass leaks from the two
+// correct sums into a diffuse background until the success metric tips
+// over — the microscopic picture behind every point in the paper's
+// figures.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"qfarith"
+)
+
+func main() {
+	x := qfarith.Basis(7, 77)
+	y := qfarith.Uniform(8, 30, 141)
+	fmt.Println("1:2 addition x=77, y ∈ {30, 141}; correct sums {107, 218}")
+
+	for _, p2 := range []float64{0, 0.005, 0.015, 0.040} {
+		res := qfarith.Add(x, y,
+			qfarith.WithSeed(99),
+			qfarith.WithDepth(3),
+			qfarith.WithNoise(0.002, p2),
+			qfarith.WithTrajectories(96))
+		fmt.Printf("\n--- λ1=0.2%%, λ2=%.1f%% — success=%v margin=%d ---\n",
+			p2*100, res.Success, res.Margin)
+		fmt.Printf("    clean-shot probability w0-driven mass on correct outputs: %.1f%%\n",
+			100*(res.Probs[107]+res.Probs[218]))
+		top := res.TopOutcomes(6)
+		for _, v := range top {
+			tag := " "
+			if res.Expected[v] {
+				tag = "*"
+			}
+			bar := strings.Repeat("█", res.Counts[v]/12)
+			fmt.Printf("  %s %3d │%s %d\n", tag, v, bar, res.Counts[v])
+		}
+		incorrectMass := 0
+		for v, c := range res.Counts {
+			if !res.Expected[v] {
+				incorrectMass += c
+			}
+		}
+		fmt.Printf("    diffuse incorrect mass: %d/2048 shots over %d outcomes\n",
+			incorrectMass, countNonzeroIncorrect(res))
+	}
+}
+
+func countNonzeroIncorrect(res qfarith.Result) int {
+	n := 0
+	for v, c := range res.Counts {
+		if c > 0 && !res.Expected[v] {
+			n++
+		}
+	}
+	return n
+}

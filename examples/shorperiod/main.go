@@ -1,0 +1,170 @@
+// Shorperiod: the application the paper's introduction leads with —
+// Shor's algorithm — assembled from this library's pieces: the textbook
+// QFT (with swap layer) for the phase-estimation register, modular
+// arithmetic semantics for the work register, and the simulator's
+// measurement machinery. Finds the multiplicative order r of a mod N
+// (here 7 mod 15, r = 4), the quantum core of factoring 15.
+//
+// This example applies the controlled modular multiplications as
+// controlled permutations at the simulator level (U_a|y> = |a·y mod N>
+// is a basis permutation), which keeps the 12-qubit run instant. The
+// fully gate-level construction — Beauregard controlled modular
+// multiplication from Fourier adders, Toffoli-hoisted double controls,
+// controlled register swaps — lives in arith.NewOrderFinding and is
+// exercised by TestOrderFindingGateLevel; at the end this program runs
+// it too and checks both routes agree.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"qfarith/internal/arith"
+	"qfarith/internal/circuit"
+	"qfarith/internal/gate"
+	"qfarith/internal/qft"
+	"qfarith/internal/sim"
+)
+
+const (
+	a = 7  // base
+	n = 15 // modulus to "factor"
+	t = 8  // phase-estimation qubits: resolution 1/256
+	w = 4  // work register: holds values mod 15
+)
+
+func main() {
+	fmt.Printf("order finding: r with %d^r ≡ 1 (mod %d)\n", a, n)
+	fmt.Printf("phase register %d qubits, work register %d qubits\n\n", t, w)
+
+	// Registers: phase on qubits 0..t-1, work on t..t+w-1.
+	st := sim.NewState(t + w)
+	st.SetBasis(1 << t) // phase |0...0>, work |1>
+
+	// Hadamard wall on the phase register.
+	for q := 0; q < t; q++ {
+		st.H(q)
+	}
+
+	// Controlled-U^(2^k): U_a is the permutation y -> a*y mod n on the
+	// work register (identity off the residue range), controlled by
+	// phase qubit k. a^(2^k) mod n is precomputed classically, as in
+	// every Shor implementation.
+	for k := 0; k < t; k++ {
+		mult := int(arith.PowMod(a, 1<<uint(k), n))
+		applyControlledModMul(st, k, mult)
+	}
+
+	// Inverse textbook QFT on the phase register.
+	c := circuit.New(t + w)
+	arith.TextbookQFTGates(c, arith.Range(0, t), qft.Full)
+	st.ApplyCircuit(c.Inverse())
+
+	// Read the phase distribution; peaks sit at multiples of 2^t/r.
+	probs := st.RegisterProbs(arith.Range(0, t))
+	fmt.Println("phase-register peaks (probability > 2%):")
+	type peak struct {
+		v int
+		p float64
+	}
+	var peaks []peak
+	for v, p := range probs {
+		if p > 0.02 {
+			peaks = append(peaks, peak{v, p})
+		}
+	}
+	for _, pk := range peaks {
+		phase := float64(pk.v) / math.Pow(2, t)
+		num, den := continuedFraction(phase, n)
+		fmt.Printf("  %3d/256  P=%.3f  ≈ %d/%d\n", pk.v, pk.p, num, den)
+	}
+
+	// Recover r as the lcm of the denominators.
+	r := 1
+	for _, pk := range peaks {
+		_, den := continuedFraction(float64(pk.v)/math.Pow(2, t), n)
+		if den > 0 {
+			r = lcm(r, den)
+		}
+	}
+	fmt.Printf("\nrecovered order r = %d;  %d^%d mod %d = %d\n", r, a, r, n, arith.PowMod(a, uint64(r), n))
+	if r%2 == 0 {
+		g1 := gcd(int(arith.PowMod(a, uint64(r/2), n))-1, n)
+		g2 := gcd(int(arith.PowMod(a, uint64(r/2), n))+1, n)
+		fmt.Printf("factors of %d from gcd(a^(r/2)±1, N): %d, %d\n", n, g1, g2)
+	}
+
+	// Cross-check against the fully gate-level circuit (4 phase bits).
+	gc, lay := arith.NewOrderFinding(a, n, 4, arith.DefaultConfig())
+	gst := sim.NewState(lay.Total)
+	gst.ApplyCircuit(gc)
+	gp := gst.RegisterProbs(lay.Phase)
+	fmt.Printf("\ngate-level circuit (%d qubits, %d gates) phase peaks:", lay.Total, len(gc.Ops))
+	for v, p := range gp {
+		if p > 0.02 {
+			fmt.Printf(" %d/16 (%.2f)", v, p)
+		}
+	}
+	fmt.Println()
+	_ = gate.CX
+}
+
+// applyControlledModMul applies |c>|y> -> |c>|m·y mod n> when c=1 and y
+// is a valid residue, directly permuting amplitudes.
+func applyControlledModMul(st *sim.State, ctrl, m int) {
+	amps := st.Amps()
+	next := make([]complex128, len(amps))
+	for idx, amp := range amps {
+		if amp == 0 {
+			next[idx] += 0
+			continue
+		}
+		if (idx>>uint(ctrl))&1 == 0 {
+			next[idx] += amp
+			continue
+		}
+		y := idx >> t
+		if y >= n {
+			next[idx] += amp
+			continue
+		}
+		ny := (y * m) % n
+		nidx := idx&(1<<t-1) | ny<<t
+		next[nidx] += amp
+	}
+	copy(amps, next)
+}
+
+// continuedFraction returns the best rational approximation p/q of x
+// with q < maxDen (the classical post-processing step of Shor).
+func continuedFraction(x float64, maxDen int) (int, int) {
+	p0, q0, p1, q1 := 0, 1, 1, 0
+	v := x
+	for i := 0; i < 32; i++ {
+		ai := int(math.Floor(v))
+		p2 := ai*p1 + p0
+		q2 := ai*q1 + q0
+		if q2 >= maxDen {
+			break
+		}
+		p0, q0, p1, q1 = p1, q1, p2, q2
+		frac := v - float64(ai)
+		if frac < 1e-9 {
+			break
+		}
+		v = 1 / frac
+	}
+	return p1, q1
+}
+
+func gcd(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }

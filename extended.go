@@ -1,0 +1,131 @@
+package qfarith
+
+import (
+	"fmt"
+
+	"qfarith/internal/arith"
+	"qfarith/internal/experiment"
+	"qfarith/internal/metrics"
+	"qfarith/internal/qint"
+	"qfarith/internal/transpile"
+)
+
+// This file exposes the extension operations the paper names but defers
+// (division, signed multiplication, modular addition) through the same
+// Result-based façade as Add/Sub/Mul.
+
+// Div simulates restoring division of y by the classical constant d:
+// outcomes decompose as remainder (low y.Width+1 bits) and quotient
+// (qw high bits). Success uses the combined (quotient, remainder)
+// output string.
+func Div(y QInt, d uint64, qw int, opts ...Option) Result {
+	if d == 0 {
+		panic("qfarith: division by zero")
+	}
+	o := buildOptions(opts)
+	w := y.Width
+	total := w + 1 + qw
+	c := circuitNew(total)
+	yreg := arith.Range(0, w+1)
+	qreg := arith.Range(w+1, qw)
+	arith.ConstDivGates(c, d, yreg, qreg, arith.Config{Depth: o.Depth, AddCut: arith.FullAdd})
+	res := transpile.Transpile(c)
+
+	// Initial state: y in the low w qubits, borrow + quotient at |0>.
+	ext := qint.New(w+1, terms(y))
+	pad := qint.NewBasis(qw, 0)
+	initial := qint.Product(ext, pad)
+	expected := make(map[int]bool)
+	for _, v := range y.Values() {
+		if uint64(v)/d >= 1<<uint(qw) {
+			panic(fmt.Sprintf("qfarith: quotient of %d/%d does not fit %d bits", v, d, qw))
+		}
+		expected[v%int(d)|(v/int(d))<<uint(w+1)] = true
+	}
+	geo := experiment.Geometry{
+		Op: experiment.OpAdd, TotalQubits: total,
+		OutReg: arith.Range(0, total), OutBits: total,
+	}
+	return runResult(o, geo, res, initial, expected)
+}
+
+// SignedMul simulates two's-complement multiplication: operands and the
+// (x.Width+y.Width)-bit product are read as signed integers. Expected
+// outputs are the signed products re-encoded; use SignedOutcome to
+// interpret sampled outcomes.
+func SignedMul(x, y QInt, opts ...Option) Result {
+	o := buildOptions(opts)
+	n, m := x.Width, y.Width
+	total := 2*n + 2*m
+	c := circuitNew(total)
+	z := arith.Range(0, n+m)
+	yreg := arith.Range(n+m, m)
+	xreg := arith.Range(n+2*m, n)
+	arith.SignedQFMGates(c, xreg, yreg, z, arith.Config{Depth: o.Depth, AddCut: arith.FullAdd})
+	res := transpile.Transpile(c)
+
+	zq := qint.NewBasis(n+m, 0)
+	initial := qint.Product(zq, y, x)
+	expected := make(map[int]bool)
+	for _, xv := range x.Values() {
+		for _, yv := range y.Values() {
+			p := qint.TwosComplement(xv, n) * qint.TwosComplement(yv, m)
+			expected[qint.FromSigned(p, n+m)] = true
+		}
+	}
+	geo := experiment.Geometry{
+		Op: experiment.OpMul, TotalQubits: total,
+		OutReg: z, OutBits: n + m,
+	}
+	return runResult(o, geo, res, initial, expected)
+}
+
+// SignedOutcome converts a raw outcome of SignedMul's product register
+// into the signed integer it encodes.
+func SignedOutcome(raw, bits int) int { return qint.TwosComplement(raw, bits) }
+
+// ModAdd simulates (y + a) mod N via the Beauregard constant adder. The
+// register is sized automatically (n+1 qubits with 2^n >= N, plus one
+// ancilla); outcomes are residues.
+func ModAdd(y QInt, a, n uint64, opts ...Option) Result {
+	o := buildOptions(opts)
+	w := 1
+	for uint64(1)<<uint(w) < n {
+		w++
+	}
+	w++ // overflow qubit
+	if y.Width > w {
+		panic(fmt.Sprintf("qfarith: operand register (%d qubits) exceeds modular register (%d)", y.Width, w))
+	}
+	for _, v := range y.Values() {
+		if uint64(v) >= n {
+			panic(fmt.Sprintf("qfarith: operand %d is not a residue mod %d", v, n))
+		}
+	}
+	total := w + 1
+	c := circuitNew(total)
+	arith.ModAddConstGates(c, a%n, n, arith.Range(0, w), w, arith.Config{Depth: o.Depth, AddCut: arith.FullAdd})
+	res := transpile.Transpile(c)
+	ext := qint.New(w, terms(y))
+	anc := qint.NewBasis(1, 0)
+	initial := qint.Product(ext, anc)
+	expected := make(map[int]bool)
+	for _, v := range y.Values() {
+		expected[int((uint64(v)+a)%n)] = true
+	}
+	geo := experiment.Geometry{
+		Op: experiment.OpAdd, TotalQubits: total,
+		OutReg: arith.Range(0, w), OutBits: w,
+	}
+	return runResult(o, geo, res, initial, expected)
+}
+
+// Fidelity returns the classical (Bhattacharyya) fidelity between the
+// simulated noisy distribution and an ideal reference distribution —
+// the smoother metric the paper's conclusions recommend at high noise.
+func Fidelity(ideal, noisy []float64) float64 {
+	return metrics.ClassicalFidelity(ideal, noisy)
+}
+
+// terms widens a QInt's terms to a larger register unchanged.
+func terms(q QInt) []qint.Term { return append([]qint.Term(nil), q.Terms...) }

@@ -1,0 +1,102 @@
+package qfarith_test
+
+import (
+	"testing"
+
+	"qfarith"
+)
+
+func TestDiv(t *testing.T) {
+	res := qfarith.Div(qfarith.Basis(4, 14), 3, 3, qfarith.WithSeed(2))
+	if !res.Success {
+		t.Fatal("14 ÷ 3 failed")
+	}
+	// Outcome layout: remainder in low 5 bits, quotient above.
+	want := 14%3 | (14/3)<<5
+	if res.TopOutcomes(1)[0] != want {
+		t.Fatalf("top outcome %d, want %d", res.TopOutcomes(1)[0], want)
+	}
+}
+
+func TestDivSuperposed(t *testing.T) {
+	res := qfarith.Div(qfarith.Uniform(4, 7, 13), 5, 2, qfarith.WithSeed(3))
+	if !res.Success || len(res.Expected) != 2 {
+		t.Fatalf("superposed division: success=%v expected=%v", res.Success, res.Expected)
+	}
+}
+
+func TestDivPanicsWhenQuotientOverflows(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for overflowing quotient")
+		}
+	}()
+	qfarith.Div(qfarith.Basis(4, 15), 1, 2)
+}
+
+func TestSignedMul(t *testing.T) {
+	// -3 × 5 = -15 on 4x4 bits.
+	x := qfarith.Basis(4, 13) // -3 in 4-bit two's complement
+	y := qfarith.Basis(4, 5)
+	res := qfarith.SignedMul(x, y, qfarith.WithSeed(4))
+	if !res.Success {
+		t.Fatal("signed multiply failed")
+	}
+	raw := res.TopOutcomes(1)[0]
+	if got := qfarith.SignedOutcome(raw, 8); got != -15 {
+		t.Fatalf("signed outcome %d, want -15", got)
+	}
+}
+
+func TestSignedMulNegativeTimesNegative(t *testing.T) {
+	x := qfarith.Basis(3, 6) // -2
+	y := qfarith.Basis(3, 5) // -3
+	res := qfarith.SignedMul(x, y, qfarith.WithSeed(5))
+	raw := res.TopOutcomes(1)[0]
+	if got := qfarith.SignedOutcome(raw, 6); got != 6 {
+		t.Fatalf("(-2)(-3) = %d, want 6", got)
+	}
+}
+
+func TestModAdd(t *testing.T) {
+	res := qfarith.ModAdd(qfarith.Basis(4, 9), 7, 13, qfarith.WithSeed(6))
+	if !res.Success || !res.Expected[(9+7)%13] {
+		t.Fatalf("modular add: success=%v expected=%v", res.Success, res.Expected)
+	}
+}
+
+func TestModAddSuperposed(t *testing.T) {
+	res := qfarith.ModAdd(qfarith.Uniform(4, 2, 11), 4, 13, qfarith.WithSeed(7))
+	if !res.Success || !res.Expected[6] || !res.Expected[2] {
+		t.Fatalf("superposed modular add: %v", res.Expected)
+	}
+}
+
+func TestModAddRejectsNonResidue(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-residue operand")
+		}
+	}()
+	qfarith.ModAdd(qfarith.Basis(4, 14), 1, 13)
+}
+
+func TestFidelityExposed(t *testing.T) {
+	if f := qfarith.Fidelity([]float64{1, 0}, []float64{1, 0}); f != 1 {
+		t.Errorf("identical fidelity %g", f)
+	}
+	if f := qfarith.Fidelity([]float64{1, 0}, []float64{0, 1}); f != 0 {
+		t.Errorf("disjoint fidelity %g", f)
+	}
+}
+
+func TestDivUnderNoiseDegrades(t *testing.T) {
+	clean := qfarith.Div(qfarith.Basis(4, 13), 3, 3, qfarith.WithSeed(8))
+	noisy := qfarith.Div(qfarith.Basis(4, 13), 3, 3, qfarith.WithSeed(8),
+		qfarith.WithNoise(0.002, 0.01), qfarith.WithTrajectories(24))
+	want := 13%3 | (13/3)<<5
+	if noisy.Counts[want] >= clean.Counts[want] {
+		t.Errorf("noise did not reduce correct counts: %d vs %d",
+			noisy.Counts[want], clean.Counts[want])
+	}
+}

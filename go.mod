@@ -1,0 +1,3 @@
+module qfarith
+
+go 1.22

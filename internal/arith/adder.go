@@ -1,0 +1,158 @@
+// Package arith implements the paper's Quantum Fourier arithmetic:
+// Draper-style Quantum Fourier Addition (QFA), its controlled form
+// (cQFA), and weighted-sum Quantum Fourier Multiplication (QFM), along
+// with the related operations the paper discusses (subtraction, constant
+// addition/multiplication, and multiply-accumulate).
+//
+// Register convention: a register is a slice of global qubit indices
+// ordered least-significant first, encoding unsigned integers (the
+// paper's two's-complement encoding coincides with this modulo 2^w).
+package arith
+
+import (
+	"fmt"
+
+	"qfarith/internal/circuit"
+	"qfarith/internal/gate"
+	"qfarith/internal/qft"
+)
+
+// AddGates appends the Fourier-domain addition step (paper Fig. 2): for
+// every addend qubit x_i and target phase qubit φ_j with j >= i, a
+// CP(2π/2^(j-i+1)) controlled by x[i-1] targeting y[j-1]. The y register
+// must already be in the Fourier basis.
+//
+// addCut bounds the rotation order: rotations R_l with l > addCut are
+// dropped. Pass FullAdd for the paper's configuration (the paper always
+// performs the full addition step and defers this cutoff to future work;
+// we expose it for the ablation study E6).
+func AddGates(c *circuit.Circuit, x, y []int, addCut int) {
+	a, w := len(x), len(y)
+	if a > w {
+		panic(fmt.Sprintf("arith: addend register (%d qubits) wider than target (%d)", a, w))
+	}
+	for i := 1; i <= a; i++ {
+		for j := w; j >= i; j-- {
+			l := j - i + 1
+			if l > addCut {
+				continue
+			}
+			c.Append(gate.CP, gate.RTheta(l), x[i-1], y[j-1])
+		}
+	}
+}
+
+// FullAdd requests the untruncated addition step.
+const FullAdd = int(^uint(0) >> 1)
+
+// AddRotationCount returns the number of CP rotations in the addition
+// step for an a-qubit addend and w-qubit target at cutoff addCut: the
+// closed form used to validate Table I (35 for a=7, w=8 untruncated).
+func AddRotationCount(a, w, addCut int) int {
+	total := 0
+	for i := 1; i <= a; i++ {
+		for j := i; j <= w; j++ {
+			if j-i+1 <= addCut {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// Config selects the approximation parameters of a QFA/QFM circuit.
+type Config struct {
+	// Depth is the AQFT approximation depth d (rotations per qubit kept
+	// in the QFT and its inverse). Use qft.Full for the exact QFT.
+	Depth int
+	// AddCut bounds the rotation order in the addition step; FullAdd
+	// reproduces the paper.
+	AddCut int
+}
+
+// DefaultConfig is the paper's baseline: full QFT, full addition step.
+func DefaultConfig() Config { return Config{Depth: qft.Full, AddCut: FullAdd} }
+
+// QFAGates appends a complete Quantum Fourier Adder to c:
+// QFT_d(y) · add(x→y) · QFT_d⁻¹(y), computing y ← (x + y) mod 2^len(y).
+// x stays in the computational basis throughout.
+func QFAGates(c *circuit.Circuit, x, y []int, cfg Config) {
+	qft.Gates(c, y, cfg.Depth)
+	AddGates(c, x, y, cfg.AddCut)
+	qft.InverseGates(c, y, cfg.Depth)
+}
+
+// NewQFA builds a standalone QFA circuit with x on qubits 0..a-1 and y on
+// qubits a..a+w-1 (both least-significant-first).
+func NewQFA(a, w int, cfg Config) *circuit.Circuit {
+	c := circuit.New(a + w)
+	x := Range(0, a)
+	y := Range(a, w)
+	QFAGates(c, x, y, cfg)
+	return c
+}
+
+// SubGates appends a Fourier subtractor computing y ← (y - x) mod
+// 2^len(y): the inverse addition step conjugated by the same QFTs. This
+// is the paper's §1 "slight alteration of the same underlying algorithm".
+func SubGates(c *circuit.Circuit, x, y []int, cfg Config) {
+	qft.Gates(c, y, cfg.Depth)
+	add := circuit.New(c.NumQubits)
+	AddGates(add, x, y, cfg.AddCut)
+	c.Compose(add.Inverse())
+	qft.InverseGates(c, y, cfg.Depth)
+}
+
+// ConstAddGates appends a constant adder computing y ← (y + k) mod
+// 2^len(y) with the classical constant folded into bare phase gates (the
+// paper's §3 closing remark: a classical operand needs no control qubits,
+// each controlled rotation collapses to a 1-qubit rotation).
+func ConstAddGates(c *circuit.Circuit, k uint64, y []int, cfg Config) {
+	qft.Gates(c, y, cfg.Depth)
+	ConstPhaseAddGates(c, k, y, cfg.AddCut)
+	qft.InverseGates(c, y, cfg.Depth)
+}
+
+// ConstPhaseAddGates appends only the Fourier-domain phase shifts that
+// add the classical constant k to a register already in the Fourier
+// basis: P(2π·k/2^j) on φ_j. Rotation components R_l with l > addCut are
+// dropped, mirroring AddGates.
+func ConstPhaseAddGates(c *circuit.Circuit, k uint64, y []int, addCut int) {
+	w := len(y)
+	for j := 1; j <= w; j++ {
+		theta := 0.0
+		// φ_j accumulates Σ_i k_i / 2^(j-i+1) over set bits k_i of k,
+		// exactly the per-qubit sum AddGates implements with controls.
+		for i := 1; i <= j && i <= 64; i++ {
+			if (k>>(uint(i)-1))&1 == 0 {
+				continue
+			}
+			l := j - i + 1
+			if l > addCut {
+				continue
+			}
+			theta += gate.RTheta(l)
+		}
+		if theta != 0 {
+			c.Append(gate.P, theta, y[j-1])
+		}
+	}
+}
+
+// CQFAGates appends a controlled QFA: the full QFA with every gate
+// additionally controlled by ctrl (H→CH, CP→CCP), computing
+// y ← (x + y) mod 2^len(y) iff ctrl is 1.
+func CQFAGates(c *circuit.Circuit, ctrl int, x, y []int, cfg Config) {
+	tmp := circuit.New(c.NumQubits)
+	QFAGates(tmp, x, y, cfg)
+	c.Compose(tmp.Controlled(ctrl))
+}
+
+// Range returns the register [start, start+w).
+func Range(start, w int) []int {
+	r := make([]int, w)
+	for i := range r {
+		r[i] = start + i
+	}
+	return r
+}

@@ -1,0 +1,317 @@
+package arith_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qfarith/internal/arith"
+	"qfarith/internal/circuit"
+	"qfarith/internal/qft"
+	"qfarith/internal/sim"
+	"qfarith/internal/testutil"
+)
+
+// runOnBasis applies c to |x> ⊗ |y> (x in register xreg, y in yreg) and
+// returns the basis state index with the dominant probability, which for
+// an exact arithmetic circuit is the unique output.
+func dominantOutput(t *testing.T, c *circuit.Circuit, n int, init int) int {
+	t.Helper()
+	st := sim.NewState(n)
+	st.SetBasis(init)
+	st.ApplyCircuit(c)
+	best, bestP := -1, 0.0
+	for i := 0; i < st.Dim(); i++ {
+		if p := st.Probability(i); p > bestP {
+			best, bestP = i, p
+		}
+	}
+	if bestP < 1-1e-9 {
+		t.Fatalf("output not a basis state: best P = %g", bestP)
+	}
+	return best
+}
+
+func TestQFAExhaustive(t *testing.T) {
+	// x on qubits 0..a-1, y on a..a+w-1; exhaustive over all inputs.
+	cases := []struct{ a, w int }{{1, 1}, {1, 2}, {2, 2}, {2, 3}, {3, 3}, {3, 4}, {4, 4}}
+	for _, cse := range cases {
+		c := arith.NewQFA(cse.a, cse.w, arith.DefaultConfig())
+		n := cse.a + cse.w
+		for x := 0; x < 1<<uint(cse.a); x++ {
+			for y := 0; y < 1<<uint(cse.w); y++ {
+				init := x | y<<uint(cse.a)
+				out := dominantOutput(t, c, n, init)
+				gotX := out & (1<<uint(cse.a) - 1)
+				gotY := out >> uint(cse.a)
+				wantY := (x + y) & (1<<uint(cse.w) - 1)
+				if gotX != x || gotY != wantY {
+					t.Fatalf("QFA(a=%d,w=%d): %d+%d gave (x=%d,y=%d), want (x=%d,y=%d)",
+						cse.a, cse.w, x, y, gotX, gotY, x, wantY)
+				}
+			}
+		}
+	}
+}
+
+func TestQFAPaperGeometryRandom(t *testing.T) {
+	// The paper's configuration: 7-bit addend, 8-bit sum register.
+	c := arith.NewQFA(7, 8, arith.DefaultConfig())
+	rng := testutil.NewRand(1234)
+	for trial := 0; trial < 25; trial++ {
+		x := rng.IntN(128)
+		y := rng.IntN(256)
+		out := dominantOutput(t, c, 15, x|y<<7)
+		gotY := out >> 7
+		if want := (x + y) & 255; gotY != want {
+			t.Fatalf("%d + %d = %d, want %d", x, y, gotY, want)
+		}
+	}
+}
+
+func TestQFAOnSuperposition(t *testing.T) {
+	// Order-2 y: |x> ⊗ (|y1>+|y2>)/√2 → |x> ⊗ (|x+y1>+|x+y2>)/√2.
+	a, w := 3, 4
+	c := arith.NewQFA(a, w, arith.DefaultConfig())
+	x, y1, y2 := 5, 3, 9
+	st := sim.NewState(a + w)
+	amps := make([]complex128, st.Dim())
+	amps[x|y1<<uint(a)] = complex(1/math.Sqrt2, 0)
+	amps[x|y2<<uint(a)] = complex(1/math.Sqrt2, 0)
+	st.SetAmplitudes(amps)
+	st.ApplyCircuit(c)
+	p1 := st.Probability(x | ((x + y1) & 15 << uint(a)))
+	p2 := st.Probability(x | ((x + y2) & 15 << uint(a)))
+	if math.Abs(p1-0.5) > 1e-9 || math.Abs(p2-0.5) > 1e-9 {
+		t.Fatalf("superposed add probabilities %g, %g, want 0.5 each", p1, p2)
+	}
+}
+
+func TestSubtractorExhaustive(t *testing.T) {
+	a, w := 3, 3
+	c := circuit.New(a + w)
+	arith.SubGates(c, arith.Range(0, a), arith.Range(a, w), arith.DefaultConfig())
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			out := dominantOutput(t, c, a+w, x|y<<uint(a))
+			gotY := out >> uint(a)
+			if want := (y - x) & 7; gotY != want {
+				t.Fatalf("%d - %d = %d, want %d", y, x, gotY, want)
+			}
+		}
+	}
+}
+
+func TestSubUndoesAdd(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := testutil.NewRand(seed)
+		a, w := 3, 4
+		c := circuit.New(a + w)
+		cfg := arith.DefaultConfig()
+		arith.QFAGates(c, arith.Range(0, a), arith.Range(a, w), cfg)
+		arith.SubGates(c, arith.Range(0, a), arith.Range(a, w), cfg)
+		x, y := rng.IntN(8), rng.IntN(16)
+		st := sim.NewState(a + w)
+		st.SetBasis(x | y<<uint(a))
+		st.ApplyCircuit(c)
+		return st.Probability(x|y<<uint(a)) > 1-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstAddExhaustive(t *testing.T) {
+	w := 4
+	for k := uint64(0); k < 16; k++ {
+		c := circuit.New(w)
+		arith.ConstAddGates(c, k, arith.Range(0, w), arith.DefaultConfig())
+		for y := 0; y < 16; y++ {
+			out := dominantOutput(t, c, w, y)
+			if want := (y + int(k)) & 15; out != want {
+				t.Fatalf("%d + const %d = %d, want %d", y, k, out, want)
+			}
+		}
+	}
+}
+
+func TestCQFAControlBehaviour(t *testing.T) {
+	a, w := 2, 3
+	n := a + w + 1
+	ctrl := a + w
+	c := circuit.New(n)
+	arith.CQFAGates(c, ctrl, arith.Range(0, a), arith.Range(a, w), arith.DefaultConfig())
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 8; y++ {
+			// Control off: nothing happens.
+			out := dominantOutput(t, c, n, x|y<<uint(a))
+			if out != x|y<<uint(a) {
+				t.Fatalf("cQFA acted with control 0 on x=%d y=%d", x, y)
+			}
+			// Control on: adds.
+			init := x | y<<uint(a) | 1<<uint(ctrl)
+			out = dominantOutput(t, c, n, init)
+			wantY := (x + y) & 7
+			if want := x | wantY<<uint(a) | 1<<uint(ctrl); out != want {
+				t.Fatalf("cQFA with control 1: x=%d y=%d gave %d, want %d", x, y, out, want)
+			}
+		}
+	}
+}
+
+func TestQFMExhaustive(t *testing.T) {
+	// z on 0..n+m-1, y on n+m.., x on n+2m..; exhaustive n=m=3.
+	n, m := 3, 3
+	c := arith.NewQFM(n, m, arith.DefaultConfig())
+	tq := 2*n + 2*m
+	for x := 0; x < 1<<uint(n); x++ {
+		for y := 0; y < 1<<uint(m); y++ {
+			init := y<<uint(n+m) | x<<uint(n+2*m)
+			out := dominantOutput(t, c, tq, init)
+			gotZ := out & (1<<uint(n+m) - 1)
+			if gotZ != x*y {
+				t.Fatalf("QFM: %d*%d gave z=%d, want %d", x, y, gotZ, x*y)
+			}
+			if out>>uint(n+m) != init>>uint(n+m) {
+				t.Fatalf("QFM: %d*%d disturbed the operand registers", x, y)
+			}
+		}
+	}
+}
+
+func TestQFMPaperGeometryRandom(t *testing.T) {
+	// Paper configuration n=m=4, 8-qubit product register (16 qubits).
+	c := arith.NewQFM(4, 4, arith.DefaultConfig())
+	rng := testutil.NewRand(777)
+	for trial := 0; trial < 8; trial++ {
+		x := rng.IntN(16)
+		y := rng.IntN(16)
+		init := y<<8 | x<<12
+		out := dominantOutput(t, c, 16, init)
+		if gotZ := out & 255; gotZ != x*y {
+			t.Fatalf("QFM(4,4): %d*%d = %d, want %d", x, y, gotZ, x*y)
+		}
+	}
+}
+
+func TestQFMAccumulates(t *testing.T) {
+	// MAC semantics: z starts nonzero, ends at z + x·y (mod 2^(n+m)).
+	n, m := 2, 2
+	c := circuit.New(2*n + 2*m)
+	z := arith.Range(0, n+m)
+	y := arith.Range(n+m, m)
+	x := arith.Range(n+2*m, n)
+	arith.MACGates(c, x, y, z, arith.DefaultConfig())
+	for x0 := 0; x0 < 4; x0++ {
+		for y0 := 0; y0 < 4; y0++ {
+			for z0 := 0; z0 < 16; z0++ {
+				init := z0 | y0<<4 | x0<<6
+				out := dominantOutput(t, c, 8, init)
+				if gotZ := out & 15; gotZ != (z0+x0*y0)&15 {
+					t.Fatalf("MAC: %d + %d*%d gave %d, want %d", z0, x0, y0, gotZ, (z0+x0*y0)&15)
+				}
+			}
+		}
+	}
+}
+
+func TestConstMulAdd(t *testing.T) {
+	n, w := 3, 6
+	for _, k := range []uint64{0, 1, 3, 5, 7} {
+		c := circuit.New(n + w)
+		x := arith.Range(0, n)
+		z := arith.Range(n, w)
+		arith.ConstMulAddGates(c, k, x, z, arith.DefaultConfig())
+		for x0 := 0; x0 < 8; x0++ {
+			for _, z0 := range []int{0, 1, 17, 63} {
+				init := x0 | z0<<uint(n)
+				out := dominantOutput(t, c, n+w, init)
+				gotZ := out >> uint(n)
+				if want := (z0 + int(k)*x0) & 63; gotZ != want {
+					t.Fatalf("const-MAC k=%d: z=%d x=%d gave %d, want %d", k, z0, x0, gotZ, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSquareExhaustive(t *testing.T) {
+	n := 3
+	c := circuit.New(3 * n)
+	x := arith.Range(0, n)
+	z := arith.Range(n, 2*n)
+	arith.SquareGates(c, x, z, arith.DefaultConfig())
+	for x0 := 0; x0 < 8; x0++ {
+		out := dominantOutput(t, c, 3*n, x0)
+		gotZ := out >> uint(n)
+		if gotZ != x0*x0 {
+			t.Fatalf("square: %d² gave %d, want %d", x0, gotZ, x0*x0)
+		}
+	}
+}
+
+func TestAddRotationCountAnchors(t *testing.T) {
+	// Table I anchors: 35 rotations for the 7→8 add, 14 for the 4→5 add.
+	if got := arith.AddRotationCount(7, 8, arith.FullAdd); got != 35 {
+		t.Errorf("AddRotationCount(7,8) = %d, want 35", got)
+	}
+	if got := arith.AddRotationCount(4, 5, arith.FullAdd); got != 14 {
+		t.Errorf("AddRotationCount(4,5) = %d, want 14", got)
+	}
+	// The cutoff monotonically removes rotations.
+	prev := 0
+	for cut := 1; cut <= 8; cut++ {
+		got := arith.AddRotationCount(7, 8, cut)
+		if got < prev {
+			t.Errorf("AddRotationCount not monotone at cut %d", cut)
+		}
+		prev = got
+	}
+	if prev != 35 {
+		t.Errorf("AddRotationCount at max cutoff = %d, want 35", prev)
+	}
+}
+
+func TestApproximateDepthStillAddsSmallOperands(t *testing.T) {
+	// With generous depth relative to the register, the AQFT adder stays
+	// exact; depth 1 on wide registers is allowed to fail (that is the
+	// paper's point), so only sanity-check d >= w-2 here.
+	a, w := 3, 4
+	for _, d := range []int{w - 2, w - 1} {
+		c := arith.NewQFA(a, w, arith.Config{Depth: d, AddCut: arith.FullAdd})
+		fails := 0
+		for x := 0; x < 8; x++ {
+			for y := 0; y < 16; y++ {
+				st := sim.NewState(a + w)
+				st.SetBasis(x | y<<uint(a))
+				st.ApplyCircuit(c)
+				want := x | ((x+y)&15)<<uint(a)
+				best, bestP := -1, 0.0
+				for i := 0; i < st.Dim(); i++ {
+					if p := st.Probability(i); p > bestP {
+						best, bestP = i, p
+					}
+				}
+				if best != want {
+					fails++
+				}
+			}
+		}
+		if d == w-1 && fails > 0 {
+			t.Errorf("full-depth adder failed %d/128 cases", fails)
+		}
+		if d == w-2 && fails > 24 {
+			t.Errorf("depth-%d adder failed %d/128 cases, expected mostly correct", d, fails)
+		}
+	}
+}
+
+func TestQFADepthUsesQFTFull(t *testing.T) {
+	cfgFull := arith.Config{Depth: qft.Full, AddCut: arith.FullAdd}
+	cfg7 := arith.Config{Depth: 7, AddCut: arith.FullAdd}
+	a := arith.NewQFA(7, 8, cfgFull)
+	b := arith.NewQFA(7, 8, cfg7)
+	if len(a.Ops) != len(b.Ops) {
+		t.Errorf("depth 7 should equal Full for the 8-qubit register: %d vs %d ops", len(b.Ops), len(a.Ops))
+	}
+}

@@ -1,0 +1,100 @@
+package arith
+
+import (
+	"fmt"
+
+	"qfarith/internal/circuit"
+	"qfarith/internal/gate"
+	"qfarith/internal/qft"
+)
+
+// LessThanGates appends a comparator setting flag ← flag ⊕ (y < x) for
+// unsigned registers, the classic subtract-and-read-the-sign trick on
+// Fourier adders: compute y-x in a register one qubit wider than the
+// operands (so the top qubit becomes the borrow/sign bit), copy that bit
+// to the flag, then add x back to restore y.
+//
+// y must hold one more qubit than the value range being compared (its
+// top qubit must be 0 on input — callers comparing w-bit values use a
+// (w+1)-qubit y register); x may hold at most len(y)-1 qubits. The y
+// register is preserved.
+func LessThanGates(c *circuit.Circuit, x, y []int, flag int, cfg Config) {
+	if len(x) >= len(y) {
+		panic(fmt.Sprintf("arith: comparator needs len(x) < len(y); got %d vs %d", len(x), len(y)))
+	}
+	for _, q := range append(append([]int(nil), x...), y...) {
+		if q == flag {
+			panic("arith: flag qubit overlaps an operand register")
+		}
+	}
+	msb := y[len(y)-1]
+	// y ← y - x; for y < x the subtraction wraps and the top qubit
+	// (clear on input) reads 1.
+	SubGates(c, x, y, cfg)
+	c.Append(gate.CX, 0, msb, flag)
+	// Restore y.
+	QFAGates(c, x, y, cfg)
+}
+
+// EqualZeroGates appends flag ← flag ⊕ (y == 0) using a chain of X
+// gates and a multi-controlled NOT built from CCX gates and the given
+// ancilla scratch qubits (len(scratch) >= len(y)-2 for len(y) > 2).
+// Used with SubGates this yields an equality comparator.
+func EqualZeroGates(c *circuit.Circuit, y []int, flag int, scratch []int) {
+	w := len(y)
+	if w == 0 {
+		panic("arith: empty register")
+	}
+	// Invert so |0...0> becomes |1...1>, then AND the bits.
+	for _, q := range y {
+		c.Append(gate.X, 0, q)
+	}
+	mcx(c, y, flag, scratch)
+	for _, q := range y {
+		c.Append(gate.X, 0, q)
+	}
+}
+
+// mcx appends a multi-controlled X with the controls ANDed pairwise into
+// scratch ancillas (which must be |0> and are restored).
+func mcx(c *circuit.Circuit, controls []int, target int, scratch []int) {
+	switch len(controls) {
+	case 0:
+		c.Append(gate.X, 0, target)
+		return
+	case 1:
+		c.Append(gate.CX, 0, controls[0], target)
+		return
+	case 2:
+		c.Append(gate.CCX, 0, controls[0], controls[1], target)
+		return
+	}
+	need := len(controls) - 2
+	if len(scratch) < need {
+		panic(fmt.Sprintf("arith: mcx with %d controls needs %d scratch qubits, got %d",
+			len(controls), need, len(scratch)))
+	}
+	// Forward AND-chain.
+	c.Append(gate.CCX, 0, controls[0], controls[1], scratch[0])
+	for i := 2; i < len(controls)-1; i++ {
+		c.Append(gate.CCX, 0, controls[i], scratch[i-2], scratch[i-1])
+	}
+	c.Append(gate.CCX, 0, controls[len(controls)-1], scratch[need-1], target)
+	// Uncompute.
+	for i := len(controls) - 2; i >= 2; i-- {
+		c.Append(gate.CCX, 0, controls[i], scratch[i-2], scratch[i-1])
+	}
+	c.Append(gate.CCX, 0, controls[0], controls[1], scratch[0])
+}
+
+// TextbookQFTGates appends the QFT *with* the final qubit-reversal SWAP
+// layer, matching the textbook matrix F_{k,y} = e^{2πi ky/N}/√N exactly
+// (the arithmetic circuits use the swap-free Draper convention; this
+// variant exists for users composing with phase-estimation routines that
+// expect standard ordering).
+func TextbookQFTGates(c *circuit.Circuit, reg []int, d int) {
+	qft.Gates(c, reg, d)
+	for i, j := 0, len(reg)-1; i < j; i, j = i+1, j-1 {
+		c.Append(gate.SWAP, 0, reg[i], reg[j])
+	}
+}

@@ -1,0 +1,103 @@
+package arith_test
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"qfarith/internal/arith"
+	"qfarith/internal/circuit"
+	"qfarith/internal/qft"
+	"qfarith/internal/sim"
+)
+
+func TestLessThanExhaustive(t *testing.T) {
+	// Compare 3-bit values: x on qubits 0..2, y on 3..6 (4 qubits, top
+	// clear), flag on 7.
+	xw, yw := 3, 4
+	flag := xw + yw
+	c := circuit.New(flag + 1)
+	arith.LessThanGates(c, arith.Range(0, xw), arith.Range(xw, yw), flag, arith.DefaultConfig())
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			init := x | y<<uint(xw)
+			out := dominantOutput(t, c, flag+1, init)
+			gotFlag := out >> uint(flag)
+			gotX := out & 7
+			gotY := (out >> uint(xw)) & 15
+			wantFlag := 0
+			if y < x {
+				wantFlag = 1
+			}
+			if gotFlag != wantFlag || gotX != x || gotY != y {
+				t.Fatalf("x=%d y=%d: flag=%d x=%d y=%d (want flag=%d, operands preserved)",
+					x, y, gotFlag, gotX, gotY, wantFlag)
+			}
+		}
+	}
+}
+
+func TestLessThanValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for equal-width registers")
+		}
+	}()
+	c := circuit.New(7)
+	arith.LessThanGates(c, arith.Range(0, 3), arith.Range(3, 3), 6, arith.DefaultConfig())
+}
+
+func TestEqualZero(t *testing.T) {
+	// y on 0..3, flag 4, scratch 5..6.
+	c := circuit.New(7)
+	arith.EqualZeroGates(c, arith.Range(0, 4), 4, []int{5, 6})
+	for y := 0; y < 16; y++ {
+		out := dominantOutput(t, c, 7, y)
+		gotFlag := (out >> 4) & 1
+		scratch := out >> 5
+		wantFlag := 0
+		if y == 0 {
+			wantFlag = 1
+		}
+		if gotFlag != wantFlag || out&15 != y || scratch != 0 {
+			t.Fatalf("y=%d: out=%b want flag %d, scratch clear, y preserved", y, out, wantFlag)
+		}
+	}
+}
+
+func TestEqualZeroSmallRegisters(t *testing.T) {
+	for w := 1; w <= 2; w++ {
+		c := circuit.New(w + 1)
+		arith.EqualZeroGates(c, arith.Range(0, w), w, nil)
+		for y := 0; y < 1<<uint(w); y++ {
+			out := dominantOutput(t, c, w+1, y)
+			wantFlag := 0
+			if y == 0 {
+				wantFlag = 1
+			}
+			if out>>uint(w) != wantFlag {
+				t.Fatalf("w=%d y=%d: flag %d", w, y, out>>uint(w))
+			}
+		}
+	}
+}
+
+func TestTextbookQFTMatchesDFT(t *testing.T) {
+	// With the swap layer the circuit matches the plain DFT matrix.
+	w := 4
+	n := 1 << uint(w)
+	c := circuit.New(w)
+	arith.TextbookQFTGates(c, arith.Range(0, w), qft.Full)
+	for y := 0; y < n; y++ {
+		st := sim.NewState(w)
+		st.SetBasis(y)
+		st.ApplyCircuit(c)
+		for k := 0; k < n; k++ {
+			want := cmplx.Exp(complex(0, 2*math.Pi*float64(y)*float64(k)/float64(n))) /
+				complex(math.Sqrt(float64(n)), 0)
+			if cmplx.Abs(st.Amps()[k]-want) > 1e-9 {
+				t.Fatalf("y=%d k=%d: %v, want %v", y, k, st.Amps()[k], want)
+			}
+		}
+	}
+}

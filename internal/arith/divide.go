@@ -1,0 +1,101 @@
+package arith
+
+import (
+	"fmt"
+
+	"qfarith/internal/circuit"
+	"qfarith/internal/gate"
+)
+
+// Restoring division by a classical constant — the QFT-based division
+// the paper's introduction lists among the "slight alterations of the
+// same underlying algorithm". Each quotient bit comes from one trial
+// subtraction on the Fourier adders: subtract d·2^i, capture the borrow
+// (the dividend register's spare top qubit), conditionally restore, and
+// invert the borrow into the quotient bit.
+
+// ConstDivGates appends a divider computing, for a classical divisor
+// d >= 1:
+//
+//	y ← y mod d,  q ← y div d
+//
+// y must hold w+1 qubits with the top qubit |0> on input (it serves as
+// the per-step borrow/sign bit) and the dividend value < 2^w; the
+// quotient register q (LSB first) receives bit i from the trial
+// subtraction of d·2^i and must hold enough qubits that the quotient
+// fits (qw bits with dividend < min(2^w, d·2^qw)). Quotient qubits must
+// start in |0>.
+func ConstDivGates(c *circuit.Circuit, d uint64, y, q []int, cfg Config) {
+	if d == 0 {
+		panic("arith: division by zero")
+	}
+	w := len(y) - 1
+	if w < 1 {
+		panic("arith: dividend register needs at least 2 qubits (value + borrow)")
+	}
+	for _, yq := range y {
+		for _, qq := range q {
+			if yq == qq {
+				panic("arith: quotient register overlaps the dividend")
+			}
+		}
+	}
+	for i := len(q) - 1; i >= 0; i-- {
+		step := d << uint(i)
+		if step >= 1<<uint(w) {
+			// The dividend is < 2^w <= step, so this quotient bit is
+			// deterministically zero — and the borrow trick would
+			// misfire for small dividends (the wrapped result can stay
+			// below 2^w). Skip the step; q[i] stays |0>.
+			continue
+		}
+		// Trial subtraction over the full (w+1)-qubit register: a
+		// negative result wraps and raises the top qubit.
+		qftSub(c, step, y, cfg)
+		// Capture the borrow into the quotient bit (both start at 0).
+		c.Append(gate.CX, 0, y[w], q[i])
+		// Restore when the subtraction went negative.
+		restore := circuit.New(c.NumQubits)
+		ConstAddGates(restore, step, y, cfg)
+		c.Compose(restore.Controlled(q[i]))
+		// Quotient bit is the *success* of the subtraction.
+		c.Append(gate.X, 0, q[i])
+	}
+}
+
+// qftSub appends y ← (y - k) mod 2^len(y) via the Fourier constant
+// ladder.
+func qftSub(c *circuit.Circuit, k uint64, y []int, cfg Config) {
+	inv := circuit.New(c.NumQubits)
+	ConstAddGates(inv, k, y, cfg)
+	c.Compose(inv.Inverse())
+}
+
+// SignedQFMGates appends a two's-complement multiplier: with x and y
+// read as signed n- and m-bit integers, the product register z (n+m
+// qubits, initially zero) ends holding the signed product in (n+m)-bit
+// two's complement. The construction is the unsigned QFM plus two
+// sign-correction blocks — the "signed QFM" the paper's conclusions
+// call for:
+//
+//	val(x)·val(y) ≡ x·y − 2^n·x_{n}·y − 2^m·y_{m}·x  (mod 2^(n+m))
+//
+// so after the unsigned product we subtract y shifted by n controlled
+// on x's sign bit, and x shifted by m controlled on y's sign bit.
+func SignedQFMGates(c *circuit.Circuit, x, y, z []int, cfg Config) {
+	n, m := len(x), len(y)
+	if len(z) != n+m {
+		panic(fmt.Sprintf("arith: signed product register must hold exactly %d qubits, got %d", n+m, len(z)))
+	}
+	QFMGates(c, x, y, z, cfg)
+	// Subtract y·2^n iff sign(x): a controlled inverse adder on the
+	// window starting at z_{n+1}.
+	subShifted := func(op []int, shift int, signQubit int) {
+		window := z[shift:]
+		tmp := circuit.New(c.NumQubits)
+		QFAGates(tmp, op, window, cfg)
+		c.Compose(tmp.Inverse().Controlled(signQubit))
+	}
+	subShifted(y, n, x[n-1])
+	subShifted(x, m, y[m-1])
+}

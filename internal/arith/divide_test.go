@@ -1,0 +1,131 @@
+package arith_test
+
+import (
+	"testing"
+
+	"qfarith/internal/arith"
+	"qfarith/internal/circuit"
+	"qfarith/internal/qint"
+	"qfarith/internal/sim"
+)
+
+func TestConstDivExhaustive(t *testing.T) {
+	// 4-bit dividends (register of 5 with borrow qubit), 3-bit quotient.
+	w, qw := 4, 3
+	for _, d := range []uint64{1, 2, 3, 5, 7, 11} {
+		c := circuit.New(w + 1 + qw)
+		y := arith.Range(0, w+1)
+		q := arith.Range(w+1, qw)
+		arith.ConstDivGates(c, d, y, q, arith.DefaultConfig())
+		for v := 0; v < 1<<uint(w); v++ {
+			if uint64(v)/d >= 1<<uint(qw) {
+				continue // quotient would not fit; out of contract
+			}
+			out := dominantOutput(t, c, w+1+qw, v)
+			rem := out & (1<<uint(w+1) - 1)
+			quo := out >> uint(w+1)
+			if rem != v%int(d) || quo != v/int(d) {
+				t.Fatalf("%d ÷ %d: got q=%d r=%d, want q=%d r=%d", v, d, quo, rem, v/int(d), v%int(d))
+			}
+		}
+	}
+}
+
+func TestConstDivOnSuperposition(t *testing.T) {
+	// Superposed dividends divide branchwise in one run.
+	w, qw := 4, 3
+	d := uint64(3)
+	c := circuit.New(w + 1 + qw)
+	arith.ConstDivGates(c, d, arith.Range(0, w+1), arith.Range(w+1, qw), arith.DefaultConfig())
+	st := sim.NewState(w + 1 + qw)
+	amps := make([]complex128, st.Dim())
+	v1, v2 := 7, 14
+	amps[v1] = complex(1/1.4142135623730951, 0)
+	amps[v2] = amps[v1]
+	st.SetAmplitudes(amps)
+	st.ApplyCircuit(c)
+	for _, v := range []int{v1, v2} {
+		want := v%int(d) | (v/int(d))<<uint(w+1)
+		if p := st.Probability(want); p < 0.49 {
+			t.Errorf("branch %d÷3: P = %g", v, p)
+		}
+	}
+}
+
+func TestConstDivByOne(t *testing.T) {
+	w, qw := 3, 3
+	c := circuit.New(w + 1 + qw)
+	arith.ConstDivGates(c, 1, arith.Range(0, w+1), arith.Range(w+1, qw), arith.DefaultConfig())
+	for v := 0; v < 8; v++ {
+		out := dominantOutput(t, c, w+1+qw, v)
+		if out&15 != 0 || out>>4 != v {
+			t.Fatalf("%d ÷ 1: out %b", v, out)
+		}
+	}
+}
+
+func TestConstDivValidation(t *testing.T) {
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanic("divide by zero", func() {
+		c := circuit.New(6)
+		arith.ConstDivGates(c, 0, arith.Range(0, 4), arith.Range(4, 2), arith.DefaultConfig())
+	})
+	assertPanic("overlap", func() {
+		c := circuit.New(6)
+		arith.ConstDivGates(c, 3, arith.Range(0, 4), arith.Range(3, 2), arith.DefaultConfig())
+	})
+}
+
+func TestSignedQFMExhaustive(t *testing.T) {
+	// 3x3-bit signed multiply: values in [-4, 3].
+	n, m := 3, 3
+	c := circuit.New(2*n + 2*m)
+	z := arith.Range(0, n+m)
+	y := arith.Range(n+m, m)
+	x := arith.Range(n+2*m, n)
+	arith.SignedQFMGates(c, x, y, z, arith.DefaultConfig())
+	for xr := 0; xr < 1<<uint(n); xr++ {
+		for yr := 0; yr < 1<<uint(m); yr++ {
+			init := yr<<uint(n+m) | xr<<uint(n+2*m)
+			out := dominantOutput(t, c, 2*n+2*m, init)
+			gotZ := out & (1<<uint(n+m) - 1)
+			want := qint.TwosComplement(xr, n) * qint.TwosComplement(yr, m)
+			if got := qint.TwosComplement(gotZ, n+m); got != want {
+				t.Fatalf("%d × %d: got %d (raw %d)", qint.TwosComplement(xr, n),
+					qint.TwosComplement(yr, m), got, gotZ)
+			}
+			if out>>uint(n+m) != init>>uint(n+m) {
+				t.Fatalf("operands disturbed for x=%d y=%d", xr, yr)
+			}
+		}
+	}
+}
+
+func TestSignedQFMMatchesUnsignedForPositives(t *testing.T) {
+	// When both sign bits are clear the correction blocks are inert.
+	n, m := 3, 3
+	cs := circuit.New(2*n + 2*m)
+	cu := circuit.New(2*n + 2*m)
+	z := arith.Range(0, n+m)
+	y := arith.Range(n+m, m)
+	x := arith.Range(n+2*m, n)
+	arith.SignedQFMGates(cs, x, y, z, arith.DefaultConfig())
+	arith.QFMGates(cu, x, y, z, arith.DefaultConfig())
+	for xr := 0; xr < 4; xr++ { // sign bit clear
+		for yr := 0; yr < 4; yr++ {
+			init := yr<<uint(n+m) | xr<<uint(n+2*m)
+			a := dominantOutput(t, cs, 2*n+2*m, init)
+			b := dominantOutput(t, cu, 2*n+2*m, init)
+			if a != b {
+				t.Fatalf("positive operands diverge: %d vs %d", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package arith
+
+import (
+	"fmt"
+
+	"qfarith/internal/circuit"
+	"qfarith/internal/gate"
+	"qfarith/internal/qft"
+)
+
+// Gate-level controlled modular multiplication in the Beauregard style —
+// the block Shor's algorithm iterates, built entirely from this
+// library's two-control gate set by hoisting control conjunctions into
+// an ancilla with Toffolis (AND-compute, act, AND-uncompute). The paper
+// motivates Fourier arithmetic by Shor's algorithm; this file closes the
+// loop from the QFA to a runnable order-finding circuit.
+
+// CCModAddConstGates appends the doubly-controlled modular constant
+// adder: y ← (y + a) mod N iff both c1 and c2 are 1. The conjunction
+// c1∧c2 is computed once into the |0> ancilla `and` with a Toffoli, the
+// singly-controlled adder runs off it, and the Toffoli uncomputes it —
+// far cheaper than adding a second control to every gate.
+func CCModAddConstGates(c *circuit.Circuit, c1, c2 int, a, n uint64, y []int, anc, and int, cfg Config) {
+	if c1 == c2 || and == c1 || and == c2 || and == anc {
+		panic("arith: control/ancilla qubits must be distinct")
+	}
+	c.Append(gate.CCX, 0, c1, c2, and)
+	CModAddConstGates(c, and, a, n, y, anc, cfg)
+	c.Append(gate.CCX, 0, c1, c2, and)
+}
+
+// CModMulAddConstGates appends the controlled modular multiply-add:
+// z ← (z + k·x) mod N iff ctrl is 1, via one doubly-controlled modular
+// add of k·2^(i-1) mod N per multiplier qubit.
+func CModMulAddConstGates(c *circuit.Circuit, ctrl int, k, n uint64, x, z []int, anc, and int, cfg Config) {
+	if n == 0 {
+		panic("arith: modulus must be positive")
+	}
+	k %= n
+	for i := 1; i <= len(x); i++ {
+		step := mulMod(k, powMod(2, uint64(i-1), n), n)
+		if step == 0 {
+			continue
+		}
+		CCModAddConstGates(c, ctrl, x[i-1], step, n, z, anc, and, cfg)
+	}
+}
+
+// CSwapGates appends controlled register swaps (Fredkin per qubit pair):
+// registers a and b exchange iff ctrl is 1.
+func CSwapGates(c *circuit.Circuit, ctrl int, a, b []int) {
+	if len(a) != len(b) {
+		panic("arith: controlled swap needs equal-width registers")
+	}
+	for i := range a {
+		c.Append(gate.CX, 0, b[i], a[i])
+		c.Append(gate.CCX, 0, ctrl, a[i], b[i])
+		c.Append(gate.CX, 0, b[i], a[i])
+	}
+}
+
+// CModMulConstGates appends Beauregard's controlled modular
+// multiplication: x ← (k·x) mod N iff ctrl is 1, for gcd(k, N) = 1 and
+// x holding a residue. It uses a zeroed work register z of len(x)+1
+// qubits, one modular-adder ancilla and one conjunction ancilla, all
+// returned to |0>:
+//
+//	cMULadd(k):  z ← z + k·x  (mod N)   [controlled]
+//	cSWAP:       x ↔ z[0:n]             [controlled]
+//	cMULadd(k⁻¹) inverse: z ← z − k⁻¹·x (mod N) [controlled] → |0>
+func CModMulConstGates(c *circuit.Circuit, ctrl int, k, n uint64, x, z []int, anc, and int, cfg Config) {
+	if len(z) != len(x)+1 {
+		panic(fmt.Sprintf("arith: work register needs %d qubits, got %d", len(x)+1, len(z)))
+	}
+	kinv, ok := ModInverse(k, n)
+	if !ok {
+		panic(fmt.Sprintf("arith: %d has no inverse mod %d", k, n))
+	}
+	CModMulAddConstGates(c, ctrl, k, n, x, z, anc, and, cfg)
+	CSwapGates(c, ctrl, x, z[:len(x)])
+	inv := circuit.New(c.NumQubits)
+	CModMulAddConstGates(inv, ctrl, kinv, n, x, z, anc, and, cfg)
+	c.Compose(inv.Inverse())
+}
+
+// ModInverse returns k⁻¹ mod n when gcd(k, n) = 1.
+func ModInverse(k, n uint64) (uint64, bool) {
+	if n == 0 {
+		return 0, false
+	}
+	k %= n
+	var t, newT int64 = 0, 1
+	var r, newR = int64(n), int64(k)
+	for newR != 0 {
+		q := r / newR
+		t, newT = newT, t-q*newT
+		r, newR = newR, r-q*newR
+	}
+	if r != 1 {
+		return 0, false
+	}
+	if t < 0 {
+		t += int64(n)
+	}
+	return uint64(t), true
+}
+
+// OrderFindingLayout describes the qubit allocation of the coherent
+// order-finding circuit.
+type OrderFindingLayout struct {
+	Phase []int // t phase-estimation qubits (LSB first)
+	X     []int // n-qubit work register, starts |1>
+	Z     []int // n+1-qubit multiplication scratch
+	Anc   int   // modular-adder ancilla
+	And   int   // conjunction ancilla
+	Total int
+}
+
+// NewOrderFinding builds the complete gate-level order-finding circuit
+// for base a modulo n with t phase bits (Shor's quantum core): Hadamard
+// wall, controlled modular multiplications by a^(2^k), inverse QFT with
+// swap layer. The caller prepares |x> = |1> (see Layout) and measures
+// the phase register. Circuit sizes grow fast; t+n <= ~12 keeps
+// simulation comfortable.
+func NewOrderFinding(a, n uint64, t int, cfg Config) (*circuit.Circuit, OrderFindingLayout) {
+	nb := 1
+	for uint64(1)<<uint(nb) < n {
+		nb++
+	}
+	lay := OrderFindingLayout{
+		Phase: Range(0, t),
+		X:     Range(t, nb),
+		Z:     Range(t+nb, nb+1),
+		Anc:   t + 2*nb + 1,
+		And:   t + 2*nb + 2,
+		Total: t + 2*nb + 3,
+	}
+	c := circuit.New(lay.Total)
+	// |x> ← |1>.
+	c.Append(gate.X, 0, lay.X[0])
+	for _, q := range lay.Phase {
+		c.Append(gate.H, 0, q)
+	}
+	// Phase qubit k controls multiplication by a^(2^(t-1-k)): the
+	// swap-free inverse QFT expects register position k to carry the
+	// (k+1)-digit phase fraction, the same pairing the qpe package
+	// validates.
+	for k, q := range lay.Phase {
+		power := powMod(a, uint64(1)<<uint(t-1-k), n)
+		CModMulConstGates(c, q, power, n, lay.X, lay.Z, lay.Anc, lay.And, cfg)
+	}
+	qft.InverseGates(c, lay.Phase, cfg.Depth)
+	return c, lay
+}

@@ -1,0 +1,155 @@
+package arith_test
+
+import (
+	"math"
+	"testing"
+
+	"qfarith/internal/arith"
+	"qfarith/internal/circuit"
+	"qfarith/internal/sim"
+)
+
+func TestModInverse(t *testing.T) {
+	cases := []struct {
+		k, n, want uint64
+		ok         bool
+	}{
+		{7, 15, 13, true}, {2, 15, 8, true}, {3, 15, 0, false},
+		{1, 13, 1, true}, {12, 13, 12, true}, {5, 0, 0, false},
+	}
+	for _, cse := range cases {
+		got, ok := arith.ModInverse(cse.k, cse.n)
+		if ok != cse.ok || (ok && got != cse.want) {
+			t.Errorf("ModInverse(%d, %d) = %d,%v want %d,%v", cse.k, cse.n, got, ok, cse.want, cse.ok)
+		}
+		if ok && cse.k*got%cse.n != 1 {
+			t.Errorf("inverse check failed: %d·%d mod %d != 1", cse.k, got, cse.n)
+		}
+	}
+}
+
+func TestCCModAddConst(t *testing.T) {
+	// y on 0..4 (5 qubits), anc 5, and 6, controls 7, 8; N = 13.
+	const N = 13
+	w := 5
+	a := uint64(6)
+	c := circuit.New(w + 4)
+	arith.CCModAddConstGates(c, w+2, w+3, a, N, arith.Range(0, w), w, w+1, arith.DefaultConfig())
+	for ctrlPattern := 0; ctrlPattern < 4; ctrlPattern++ {
+		for _, y := range []int{0, 5, 12} {
+			init := y | ctrlPattern<<uint(w+2)
+			out := dominantOutput(t, c, w+4, init)
+			gotY := out & (1<<uint(w) - 1)
+			aux := (out >> uint(w)) & 3
+			want := y
+			if ctrlPattern == 3 {
+				want = (y + int(a)) % N
+			}
+			if gotY != want || aux != 0 || out>>uint(w+2) != ctrlPattern {
+				t.Fatalf("ctrl=%02b y=%d: got y=%d aux=%02b", ctrlPattern, y, gotY, aux)
+			}
+		}
+	}
+}
+
+func TestCSwap(t *testing.T) {
+	// a on 0..1, b on 2..3, ctrl 4.
+	c := circuit.New(5)
+	arith.CSwapGates(c, 4, []int{0, 1}, []int{2, 3})
+	for av := 0; av < 4; av++ {
+		for bv := 0; bv < 4; bv++ {
+			// ctrl off: unchanged.
+			out := dominantOutput(t, c, 5, av|bv<<2)
+			if out != av|bv<<2 {
+				t.Fatalf("cswap acted with ctrl 0")
+			}
+			// ctrl on: swapped.
+			out = dominantOutput(t, c, 5, av|bv<<2|1<<4)
+			if out != bv|av<<2|1<<4 {
+				t.Fatalf("cswap wrong: a=%d b=%d -> %b", av, bv, out)
+			}
+		}
+	}
+}
+
+func TestCModMulConstExhaustive(t *testing.T) {
+	// x ← k·x mod 15 (controlled), x on 4 qubits, z on 5, anc+and+ctrl.
+	const N = 15
+	nb := 4
+	for _, k := range []uint64{2, 7, 13} {
+		lay := struct {
+			x, z                  []int
+			anc, and, ctrl, total int
+		}{
+			x: arith.Range(0, nb), z: arith.Range(nb, nb+1),
+			anc: 2*nb + 1, and: 2*nb + 2, ctrl: 2*nb + 3, total: 2*nb + 4,
+		}
+		c := circuit.New(lay.total)
+		arith.CModMulConstGates(c, lay.ctrl, k, N, lay.x, lay.z, lay.anc, lay.and, arith.DefaultConfig())
+		for x := 0; x < N; x++ {
+			// Control off.
+			out := dominantOutput(t, c, lay.total, x)
+			if out != x {
+				t.Fatalf("k=%d: cMUL acted with ctrl 0 on x=%d", k, x)
+			}
+			// Control on: x ← k·x mod N, everything else |0>.
+			init := x | 1<<uint(lay.ctrl)
+			out = dominantOutput(t, c, lay.total, init)
+			gotX := out & (1<<uint(nb) - 1)
+			junk := (out >> uint(nb)) & (1<<uint(nb+3) - 1)
+			if gotX != int(uint64(x)*k%N) || junk != 0 {
+				t.Fatalf("k=%d x=%d: got x=%d junk=%b", k, x, gotX, junk)
+			}
+		}
+	}
+}
+
+func TestCModMulRequiresInvertibleConstant(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-invertible multiplier")
+		}
+	}()
+	c := circuit.New(12)
+	arith.CModMulConstGates(c, 11, 3, 15, arith.Range(0, 4), arith.Range(4, 5), 9, 10, arith.DefaultConfig())
+}
+
+// TestOrderFindingGateLevel runs the complete gate-level Shor quantum
+// core for a=7, N=15 with a 4-bit phase register: the phase distribution
+// must peak at multiples of 2^4/r = 4 (r = 4).
+func TestOrderFindingGateLevel(t *testing.T) {
+	c, lay := arith.NewOrderFinding(7, 15, 4, arith.DefaultConfig())
+	st := sim.NewState(lay.Total)
+	st.ApplyCircuit(c)
+	probs := st.RegisterProbs(lay.Phase)
+	for v, p := range probs {
+		if v%4 == 0 {
+			if math.Abs(p-0.25) > 1e-6 {
+				t.Errorf("peak %d: P = %g, want 0.25", v, p)
+			}
+		} else if p > 1e-9 {
+			t.Errorf("non-peak %d has probability %g", v, p)
+		}
+	}
+	// Ancillas and scratch must be returned to |0>, x holds a residue.
+	aux := st.RegisterProbs([]int{lay.Anc, lay.And})
+	if math.Abs(aux[0]-1) > 1e-9 {
+		t.Errorf("ancillas not clean: %v", aux)
+	}
+	zprobs := st.RegisterProbs(lay.Z)
+	if math.Abs(zprobs[0]-1) > 1e-9 {
+		t.Errorf("work register not cleaned: P(0) = %g", zprobs[0])
+	}
+}
+
+func TestOrderFindingOrderTwo(t *testing.T) {
+	// a=4 mod 15 has order 2: peaks at 0 and 2^3/... with t=3 phase
+	// bits, peaks at multiples of 4 (8/r = 4).
+	c, lay := arith.NewOrderFinding(4, 15, 3, arith.DefaultConfig())
+	st := sim.NewState(lay.Total)
+	st.ApplyCircuit(c)
+	probs := st.RegisterProbs(lay.Phase)
+	if math.Abs(probs[0]-0.5) > 1e-6 || math.Abs(probs[4]-0.5) > 1e-6 {
+		t.Errorf("order-2 peaks wrong: %v", probs)
+	}
+}

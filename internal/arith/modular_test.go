@@ -1,0 +1,155 @@
+package arith_test
+
+import (
+	"testing"
+
+	"qfarith/internal/arith"
+	"qfarith/internal/circuit"
+	"qfarith/internal/sim"
+)
+
+// runModCircuit applies c to |y>|anc=0> and asserts a unique basis
+// output, returning (yOut, ancOut).
+func runModCircuit(t *testing.T, c *circuit.Circuit, w int, y int) (int, int) {
+	t.Helper()
+	out := dominantOutput(t, c, w+1, y)
+	return out & (1<<uint(w) - 1), out >> uint(w)
+}
+
+func TestModAddConstExhaustive(t *testing.T) {
+	// N=13 on a 5-qubit register (2^4 = 16 >= 13), ancilla on qubit 5.
+	const N = 13
+	w := 5
+	for a := uint64(0); a < N; a++ {
+		c := circuit.New(w + 1)
+		arith.ModAddConstGates(c, a, N, arith.Range(0, w), w, arith.DefaultConfig())
+		for y := 0; y < N; y++ {
+			got, anc := runModCircuit(t, c, w, y)
+			if anc != 0 {
+				t.Fatalf("a=%d y=%d: ancilla not restored", a, y)
+			}
+			if want := (y + int(a)) % N; got != want {
+				t.Fatalf("(%d + %d) mod %d = %d, want %d", y, a, N, got, want)
+			}
+		}
+	}
+}
+
+func TestModAddConstPowerOfTwoModulus(t *testing.T) {
+	const N = 8
+	w := 4
+	for _, a := range []uint64{0, 1, 5, 7} {
+		c := circuit.New(w + 1)
+		arith.ModAddConstGates(c, a, N, arith.Range(0, w), w, arith.DefaultConfig())
+		for y := 0; y < N; y++ {
+			got, anc := runModCircuit(t, c, w, y)
+			if anc != 0 || got != (y+int(a))%N {
+				t.Fatalf("a=%d y=%d: got %d anc %d", a, y, got, anc)
+			}
+		}
+	}
+}
+
+func TestModAddConstOnSuperposition(t *testing.T) {
+	// Superposed register input must map each branch independently.
+	const N = 11
+	w := 5
+	a := uint64(7)
+	c := circuit.New(w + 1)
+	arith.ModAddConstGates(c, a, N, arith.Range(0, w), w, arith.DefaultConfig())
+	st := sim.NewState(w + 1)
+	amps := make([]complex128, st.Dim())
+	y1, y2 := 3, 9
+	amps[y1] = complex(0.6, 0)
+	amps[y2] = complex(0.8, 0)
+	st.SetAmplitudes(amps)
+	st.ApplyCircuit(c)
+	p1 := st.Probability((y1 + 7) % N)
+	p2 := st.Probability((y2 + 7) % N)
+	if p1 < 0.35 || p1 > 0.37 || p2 < 0.63 || p2 > 0.65 {
+		t.Errorf("superposed branches wrong: %g, %g (want 0.36, 0.64)", p1, p2)
+	}
+}
+
+func TestCModAddConst(t *testing.T) {
+	const N = 13
+	w := 5
+	a := uint64(6)
+	ctrl := w + 1
+	c := circuit.New(w + 2)
+	arith.CModAddConstGates(c, ctrl, a, N, arith.Range(0, w), w, arith.DefaultConfig())
+	for y := 0; y < N; y++ {
+		// Control off: unchanged, ancilla clear.
+		out := dominantOutput(t, c, w+2, y)
+		if out != y {
+			t.Fatalf("ctrl=0 y=%d: got %d", y, out)
+		}
+		// Control on: modular add.
+		out = dominantOutput(t, c, w+2, y|1<<uint(ctrl))
+		gotY := out & (1<<uint(w) - 1)
+		anc := (out >> uint(w)) & 1
+		if anc != 0 || gotY != (y+int(a))%N {
+			t.Fatalf("ctrl=1 y=%d: got %d anc %d", y, gotY, anc)
+		}
+	}
+}
+
+func TestModMulAddConst(t *testing.T) {
+	// z ← (z + k·x) mod N with x on 3 qubits, z on 5, anc on 8.
+	const N = 13
+	xw, zw := 3, 5
+	for _, k := range []uint64{1, 5, 12} {
+		c := circuit.New(xw + zw + 1)
+		x := arith.Range(0, xw)
+		z := arith.Range(xw, zw)
+		arith.ModMulAddConstGates(c, k, N, x, z, xw+zw, arith.DefaultConfig())
+		for xv := 0; xv < 1<<uint(xw); xv++ {
+			for _, zv := range []int{0, 1, 7, 12} {
+				init := xv | zv<<uint(xw)
+				out := dominantOutput(t, c, xw+zw+1, init)
+				gotX := out & 7
+				gotZ := (out >> uint(xw)) & 31
+				anc := out >> uint(xw+zw)
+				want := (zv + int(k)*xv) % N
+				if gotX != xv || anc != 0 || gotZ != want {
+					t.Fatalf("k=%d x=%d z=%d: got z=%d x=%d anc=%d, want z=%d", k, xv, zv, gotZ, gotX, anc, want)
+				}
+			}
+		}
+	}
+}
+
+func TestModAddValidation(t *testing.T) {
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	cfg := arith.DefaultConfig()
+	assertPanic("a >= N", func() {
+		c := circuit.New(6)
+		arith.ModAddConstGates(c, 13, 13, arith.Range(0, 5), 5, cfg)
+	})
+	assertPanic("register too small", func() {
+		c := circuit.New(5)
+		arith.ModAddConstGates(c, 3, 13, arith.Range(0, 4), 4, cfg)
+	})
+	assertPanic("ancilla overlap", func() {
+		c := circuit.New(5)
+		arith.ModAddConstGates(c, 3, 13, arith.Range(0, 5), 2, cfg)
+	})
+}
+
+func TestPowMod(t *testing.T) {
+	cases := []struct{ a, e, n, want uint64 }{
+		{2, 10, 1000, 24}, {7, 0, 13, 1}, {3, 4, 5, 1}, {10, 3, 17, 14},
+	}
+	for _, c := range cases {
+		if got := arith.PowMod(c.a, c.e, c.n); got != c.want {
+			t.Errorf("PowMod(%d,%d,%d) = %d, want %d", c.a, c.e, c.n, got, c.want)
+		}
+	}
+}

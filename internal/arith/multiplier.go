@@ -1,0 +1,127 @@
+package arith
+
+import (
+	"fmt"
+
+	"qfarith/internal/circuit"
+	"qfarith/internal/qft"
+)
+
+// QFMGates appends the weighted-sum Quantum Fourier Multiplier (paper
+// Fig. 4): for each multiplier qubit x_i, a cQFA controlled by x_i adds
+// the multiplicand y into the product-register window z_{i+m} … z_i
+// (least-significant window qubit z_i carries weight 2^(i-1), so the
+// block contributes x_i · 2^(i-1) · y). The product register z must hold
+// len(x)+len(y) qubits and is normally initialized to zero, after which
+// it ends in |x·y>. Both multiplicand registers are preserved.
+//
+// Window geometry: block i spans min(len(y)+1, len(z)-i+1) qubits so the
+// final block tops out at z's most significant qubit — the geometry that
+// reproduces the paper's Table I gate counts exactly (four 5-qubit
+// windows for n=m=4).
+func QFMGates(c *circuit.Circuit, x, y, z []int, cfg Config) {
+	n, m := len(x), len(y)
+	if len(z) < n+m {
+		panic(fmt.Sprintf("arith: product register needs %d qubits, got %d", n+m, len(z)))
+	}
+	for i := 1; i <= n; i++ {
+		hi := i + m // window top index (1-based, inclusive)
+		if hi > len(z) {
+			hi = len(z)
+		}
+		window := z[i-1 : hi]
+		CQFAGates(c, x[i-1], y, window, cfg)
+	}
+}
+
+// NewQFM builds a standalone QFM circuit with the product register z on
+// qubits 0..n+m-1, the multiplicand y on n+m..n+2m-1, and the multiplier
+// x on n+2m..2n+2m-1 (all least-significant-first).
+func NewQFM(n, m int, cfg Config) *circuit.Circuit {
+	c := circuit.New(2*n + 2*m)
+	z := Range(0, n+m)
+	y := Range(n+m, m)
+	x := Range(n+2*m, n)
+	QFMGates(c, x, y, z, cfg)
+	return c
+}
+
+// ConstMulAddGates appends a multiply-accumulate by a classical constant:
+// z ← (z + k·x) mod 2^len(z), built from one constant-controlled phase
+// ladder per multiplier qubit. This is the constant-factor variant the
+// paper's §3 closing remark describes, and the core of Shor-style
+// modular-exponentiation circuits.
+func ConstMulAddGates(c *circuit.Circuit, k uint64, x, z []int, cfg Config) {
+	// For each x_i, add (k << (i-1)) into z under control of x_i. Using
+	// the Fourier basis once for the whole accumulation keeps the cost at
+	// a single QFT pair.
+	tmp := circuit.New(c.NumQubits)
+	for i := 1; i <= len(x); i++ {
+		shifted := circuit.New(c.NumQubits)
+		ConstPhaseAddGates(shifted, k<<(uint(i)-1), z, cfg.AddCut)
+		tmp.Compose(shifted.Controlled(x[i-1]))
+	}
+	// QFT(z) · Σ_i ctrl-phases · QFT⁻¹(z)
+	out := circuit.New(c.NumQubits)
+	qft.Gates(out, z, cfg.Depth)
+	out.Compose(tmp)
+	qft.InverseGates(out, z, cfg.Depth)
+	c.Compose(out)
+}
+
+// MACGates appends a three-register multiply-accumulate
+// z ← (z + x·y) mod 2^len(z), valid for any initial z. Unlike QFMGates —
+// whose minimal (m+1)-qubit windows rely on the product register starting
+// at zero so no window ever overflows — each MAC block's adder window
+// extends to the top of z, so carries propagate fully at the cost of
+// wider cQFTs.
+func MACGates(c *circuit.Circuit, x, y, z []int, cfg Config) {
+	n := len(x)
+	for i := 1; i <= n; i++ {
+		window := z[i-1:]
+		CQFAGates(c, x[i-1], y, window, cfg)
+	}
+}
+
+// SquareGates appends z ← (z + x²) mod 2^len(z) by multiply-accumulating
+// x with itself one multiplier bit at a time. A direct QFM(x,x,z) is
+// invalid — the same qubit would control and be added — so the classic
+// trick decomposes x² = Σ_i 2^(i-1)·x_i·x and, within each block, folds
+// the diagonal term x_i·x_i = x_i into the constant part of the ladder.
+func SquareGates(c *circuit.Circuit, x, z []int, cfg Config) {
+	n := len(x)
+	if len(z) < 2*n {
+		panic(fmt.Sprintf("arith: square register needs %d qubits, got %d", 2*n, len(z)))
+	}
+	for i := 1; i <= n; i++ {
+		// Window extends to the top of z so the block is exact for any
+		// accumulated value (see MACGates).
+		window := z[i-1:]
+		// Build the block that, once controlled by x_i, contributes
+		// 2^(i-1)·x_i·x: inside it, add every off-diagonal bit x_j
+		// (j != i) under its own control, plus the diagonal self-term —
+		// x_i·x_i = x_i is absorbed by the outer control, leaving an
+		// unconditional constant add of 2^(i-1) within the window.
+		tmp := circuit.New(c.NumQubits)
+		qft.Gates(tmp, window, cfg.Depth)
+		for j := 1; j <= n; j++ {
+			if j == i {
+				continue
+			}
+			addSingleBit(tmp, x[j-1], j, window, cfg.AddCut)
+		}
+		ConstPhaseAddGates(tmp, 1<<(uint(i)-1), window, cfg.AddCut)
+		qft.InverseGates(tmp, window, cfg.Depth)
+		c.Compose(tmp.Controlled(x[i-1]))
+	}
+}
+
+// addSingleBit appends the Fourier-domain rotations adding bit j of an
+// addend (qubit xq, weight 2^(j-1)) into window y.
+func addSingleBit(c *circuit.Circuit, xq, j int, y []int, addCut int) {
+	one := circuit.New(c.NumQubits)
+	shifted := circuit.New(c.NumQubits)
+	ConstPhaseAddGates(shifted, 1<<(uint(j)-1), y, addCut)
+	one.Compose(shifted.Controlled(xq))
+	c.Compose(one)
+}

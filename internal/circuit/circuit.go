@@ -1,0 +1,252 @@
+// Package circuit provides the gate-list intermediate representation used
+// by the QFT/arithmetic builders, the transpiler, and the simulator: an
+// ordered sequence of gate applications on integer-indexed qubits, with
+// composition, inversion, control-extension, counting, and rendering.
+//
+// Qubit indexing follows the simulator convention: qubit q corresponds to
+// bit q of the basis-state index (qubit 0 is the least significant bit).
+package circuit
+
+import (
+	"fmt"
+	"strings"
+
+	"qfarith/internal/gate"
+)
+
+// Op is a single gate application. Qubits holds the gate's qubit operands
+// in gate order (controls first, target last). Only the first
+// gate.Kind.Arity() entries of Qubits are meaningful.
+type Op struct {
+	Kind   gate.Kind
+	Qubits [3]int
+	Theta  float64
+}
+
+// NewOp builds an Op, validating arity.
+func NewOp(k gate.Kind, theta float64, qubits ...int) Op {
+	if len(qubits) != k.Arity() {
+		panic(fmt.Sprintf("circuit: %s expects %d qubits, got %d", k, k.Arity(), len(qubits)))
+	}
+	seen := 0
+	var op Op
+	op.Kind = k
+	op.Theta = theta
+	for i, q := range qubits {
+		if q < 0 {
+			panic(fmt.Sprintf("circuit: negative qubit %d", q))
+		}
+		if seen&(1<<uint(q)) != 0 && q < 63 {
+			panic(fmt.Sprintf("circuit: duplicate qubit %d in %s", q, k))
+		}
+		if q < 63 {
+			seen |= 1 << uint(q)
+		}
+		op.Qubits[i] = q
+	}
+	return op
+}
+
+// Active returns the slice of meaningful qubit operands.
+func (o Op) Active() []int { return o.Qubits[:o.Kind.Arity()] }
+
+// String renders the op in OpenQASM-like syntax.
+func (o Op) String() string {
+	var sb strings.Builder
+	sb.WriteString(o.Kind.Name())
+	if o.Kind.Parameterized() {
+		fmt.Fprintf(&sb, "(%g)", o.Theta)
+	}
+	sb.WriteByte(' ')
+	for i, q := range o.Active() {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "q%d", q)
+	}
+	return sb.String()
+}
+
+// Circuit is an ordered gate list over NumQubits qubits.
+type Circuit struct {
+	NumQubits int
+	Ops       []Op
+}
+
+// New returns an empty circuit over n qubits.
+func New(n int) *Circuit {
+	if n <= 0 {
+		panic("circuit: need at least one qubit")
+	}
+	return &Circuit{NumQubits: n}
+}
+
+// Append adds a gate application, validating qubit bounds.
+func (c *Circuit) Append(k gate.Kind, theta float64, qubits ...int) *Circuit {
+	op := NewOp(k, theta, qubits...)
+	for _, q := range op.Active() {
+		if q >= c.NumQubits {
+			panic(fmt.Sprintf("circuit: qubit %d out of range (have %d)", q, c.NumQubits))
+		}
+	}
+	c.Ops = append(c.Ops, op)
+	return c
+}
+
+// AppendOp adds a prevalidated op, checking bounds.
+func (c *Circuit) AppendOp(op Op) *Circuit {
+	for _, q := range op.Active() {
+		if q >= c.NumQubits {
+			panic(fmt.Sprintf("circuit: qubit %d out of range (have %d)", q, c.NumQubits))
+		}
+	}
+	c.Ops = append(c.Ops, op)
+	return c
+}
+
+// Compose appends all ops of other to c. Both circuits must share the
+// qubit index space; other may span fewer qubits.
+func (c *Circuit) Compose(other *Circuit) *Circuit {
+	if other.NumQubits > c.NumQubits {
+		panic("circuit: Compose with wider circuit")
+	}
+	c.Ops = append(c.Ops, other.Ops...)
+	return c
+}
+
+// Clone returns a deep copy.
+func (c *Circuit) Clone() *Circuit {
+	out := New(c.NumQubits)
+	out.Ops = append([]Op(nil), c.Ops...)
+	return out
+}
+
+// Inverse returns the circuit implementing c's inverse unitary: ops
+// reversed with each gate inverted.
+func (c *Circuit) Inverse() *Circuit {
+	out := New(c.NumQubits)
+	out.Ops = make([]Op, len(c.Ops))
+	for i, op := range c.Ops {
+		ik, itheta := gate.Inverse(op.Kind, op.Theta)
+		inv := op
+		inv.Kind, inv.Theta = ik, itheta
+		out.Ops[len(c.Ops)-1-i] = inv
+	}
+	return out
+}
+
+// Controlled returns a copy of c in which every gate gains one additional
+// control on qubit ctrl. The result spans max(c.NumQubits, ctrl+1)
+// qubits. Panics if any gate has no controlled form in the gate set or if
+// ctrl already appears in a gate.
+func (c *Circuit) Controlled(ctrl int) *Circuit {
+	n := c.NumQubits
+	if ctrl >= n {
+		n = ctrl + 1
+	}
+	out := New(n)
+	out.Ops = make([]Op, 0, len(c.Ops))
+	for _, op := range c.Ops {
+		ck, ok := gate.AddControl(op.Kind)
+		if !ok {
+			panic(fmt.Sprintf("circuit: no controlled form of %s in gate set", op.Kind))
+		}
+		if ck == gate.I { // controlled identity: drop
+			continue
+		}
+		var q []int
+		q = append(q, ctrl)
+		for _, oq := range op.Active() {
+			if oq == ctrl {
+				panic(fmt.Sprintf("circuit: control qubit %d already used by %s", ctrl, op))
+			}
+			q = append(q, oq)
+		}
+		out.Ops = append(out.Ops, NewOp(ck, op.Theta, q...))
+	}
+	return out
+}
+
+// Remapped returns a copy of c with qubit i replaced by mapping[i]. The
+// mapping must be defined for every qubit used by an op.
+func (c *Circuit) Remapped(numQubits int, mapping []int) *Circuit {
+	out := New(numQubits)
+	out.Ops = make([]Op, 0, len(c.Ops))
+	for _, op := range c.Ops {
+		var q []int
+		for _, oq := range op.Active() {
+			if oq >= len(mapping) || mapping[oq] < 0 {
+				panic(fmt.Sprintf("circuit: unmapped qubit %d in %s", oq, op))
+			}
+			q = append(q, mapping[oq])
+		}
+		out.Ops = append(out.Ops, NewOp(op.Kind, op.Theta, q...))
+	}
+	for _, op := range out.Ops {
+		for _, q := range op.Active() {
+			if q >= numQubits {
+				panic(fmt.Sprintf("circuit: remapped qubit %d out of range %d", q, numQubits))
+			}
+		}
+	}
+	return out
+}
+
+// Counts tallies gates by kind.
+func (c *Circuit) Counts() map[gate.Kind]int {
+	out := make(map[gate.Kind]int)
+	for _, op := range c.Ops {
+		out[op.Kind]++
+	}
+	return out
+}
+
+// CountByArity returns (#1q, #2q, #3q) gate applications.
+func (c *Circuit) CountByArity() (one, two, three int) {
+	for _, op := range c.Ops {
+		switch op.Kind.Arity() {
+		case 1:
+			one++
+		case 2:
+			two++
+		case 3:
+			three++
+		}
+	}
+	return
+}
+
+// Depth returns the circuit depth: the length of the longest
+// qubit-ordered chain of gates, computed with the usual as-soon-as-
+// possible layering.
+func (c *Circuit) Depth() int {
+	level := make([]int, c.NumQubits)
+	depth := 0
+	for _, op := range c.Ops {
+		l := 0
+		for _, q := range op.Active() {
+			if level[q] > l {
+				l = level[q]
+			}
+		}
+		l++
+		for _, q := range op.Active() {
+			level[q] = l
+		}
+		if l > depth {
+			depth = l
+		}
+	}
+	return depth
+}
+
+// String renders the whole gate list, one op per line.
+func (c *Circuit) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %d qubits, %d ops\n", c.NumQubits, len(c.Ops))
+	for _, op := range c.Ops {
+		sb.WriteString(op.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,204 @@
+package circuit_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qfarith/internal/circuit"
+	"qfarith/internal/gate"
+)
+
+func TestAppendAndCounts(t *testing.T) {
+	c := circuit.New(3)
+	c.Append(gate.H, 0, 0)
+	c.Append(gate.CP, math.Pi/2, 0, 1)
+	c.Append(gate.CP, math.Pi/4, 1, 2)
+	c.Append(gate.CCP, math.Pi/8, 0, 1, 2)
+	counts := c.Counts()
+	if counts[gate.H] != 1 || counts[gate.CP] != 2 || counts[gate.CCP] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	one, two, three := c.CountByArity()
+	if one != 1 || two != 2 || three != 1 {
+		t.Errorf("arity counts %d/%d/%d", one, two, three)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanic("out of range", func() { circuit.New(2).Append(gate.H, 0, 5) })
+	assertPanic("wrong arity", func() { circuit.New(2).Append(gate.CX, 0, 0) })
+	assertPanic("duplicate qubit", func() { circuit.New(2).Append(gate.CX, 0, 1, 1) })
+	assertPanic("negative qubit", func() { circuit.New(2).Append(gate.H, 0, -1) })
+	assertPanic("zero qubits", func() { circuit.New(0) })
+}
+
+func TestInverseReversesAndInverts(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(gate.H, 0, 0)
+	c.Append(gate.S, 0, 1)
+	c.Append(gate.CP, math.Pi/8, 0, 1)
+	inv := c.Inverse()
+	if len(inv.Ops) != 3 {
+		t.Fatalf("inverse has %d ops", len(inv.Ops))
+	}
+	if inv.Ops[0].Kind != gate.CP || inv.Ops[0].Theta != -math.Pi/8 {
+		t.Errorf("first inverse op = %v", inv.Ops[0])
+	}
+	if inv.Ops[1].Kind != gate.Sdg {
+		t.Errorf("S inverse = %v", inv.Ops[1].Kind)
+	}
+	if inv.Ops[2].Kind != gate.H {
+		t.Errorf("H inverse = %v", inv.Ops[2].Kind)
+	}
+}
+
+func TestControlledMapsKinds(t *testing.T) {
+	c := circuit.New(3)
+	c.Append(gate.H, 0, 0)
+	c.Append(gate.CP, math.Pi/2, 0, 1)
+	c.Append(gate.X, 0, 2)
+	cc := c.Controlled(3)
+	if cc.NumQubits != 4 {
+		t.Fatalf("controlled spans %d qubits", cc.NumQubits)
+	}
+	wantKinds := []gate.Kind{gate.CH, gate.CCP, gate.CX}
+	for i, op := range cc.Ops {
+		if op.Kind != wantKinds[i] {
+			t.Errorf("op %d kind %s, want %s", i, op.Kind, wantKinds[i])
+		}
+		if op.Qubits[0] != 3 {
+			t.Errorf("op %d control is %d, want 3", i, op.Qubits[0])
+		}
+	}
+}
+
+func TestControlledRejectsOverlapAndUncontrollable(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(gate.H, 0, 0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for control qubit overlap")
+			}
+		}()
+		c.Controlled(0)
+	}()
+	s := circuit.New(2)
+	s.Append(gate.SWAP, 0, 0, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for uncontrollable SWAP")
+			}
+		}()
+		s.Controlled(2)
+	}()
+}
+
+func TestControlledDropsIdentity(t *testing.T) {
+	c := circuit.New(1)
+	c.Append(gate.I, 0, 0)
+	cc := c.Controlled(1)
+	if len(cc.Ops) != 0 {
+		t.Errorf("controlled identity should vanish, got %v", cc.Ops)
+	}
+}
+
+func TestComposeAndClone(t *testing.T) {
+	a := circuit.New(3)
+	a.Append(gate.H, 0, 0)
+	b := circuit.New(2)
+	b.Append(gate.X, 0, 1)
+	a.Compose(b)
+	if len(a.Ops) != 2 {
+		t.Fatalf("compose gave %d ops", len(a.Ops))
+	}
+	cl := a.Clone()
+	cl.Append(gate.Z, 0, 2)
+	if len(a.Ops) == len(cl.Ops) {
+		t.Error("clone shares op slice with original")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic composing wider circuit")
+			}
+		}()
+		b.Compose(circuit.New(5))
+	}()
+}
+
+func TestRemapped(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(gate.CX, 0, 0, 1)
+	r := c.Remapped(4, []int{3, 1})
+	if r.Ops[0].Qubits[0] != 3 || r.Ops[0].Qubits[1] != 1 {
+		t.Errorf("remap wrong: %v", r.Ops[0])
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for unmapped qubit")
+			}
+		}()
+		c.Remapped(4, []int{3})
+	}()
+}
+
+func TestDepth(t *testing.T) {
+	c := circuit.New(3)
+	if c.Depth() != 0 {
+		t.Error("empty circuit depth should be 0")
+	}
+	c.Append(gate.H, 0, 0) // layer 1
+	c.Append(gate.H, 0, 1) // layer 1 (parallel)
+	c.Append(gate.CX, 0, 0, 1)
+	c.Append(gate.H, 0, 2) // parallel with everything
+	if d := c.Depth(); d != 2 {
+		t.Errorf("depth = %d, want 2", d)
+	}
+	c.Append(gate.CCP, math.Pi, 0, 1, 2)
+	if d := c.Depth(); d != 3 {
+		t.Errorf("depth = %d, want 3", d)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(gate.H, 0, 0)
+	c.Append(gate.CP, 0.5, 0, 1)
+	s := c.String()
+	if !strings.Contains(s, "h q0") || !strings.Contains(s, "cp(0.5) q0,q1") {
+		t.Errorf("rendering missing ops:\n%s", s)
+	}
+	op := circuit.NewOp(gate.CCP, 0.25, 2, 1, 0)
+	if got := op.String(); got != "ccp(0.25) q2,q1,q0" {
+		t.Errorf("op string = %q", got)
+	}
+}
+
+func TestInverseIsInvolution(t *testing.T) {
+	c := circuit.New(3)
+	c.Append(gate.H, 0, 0)
+	c.Append(gate.T, 0, 1)
+	c.Append(gate.CP, 0.3, 0, 2)
+	c.Append(gate.SX, 0, 1)
+	double := c.Inverse().Inverse()
+	if len(double.Ops) != len(c.Ops) {
+		t.Fatal("double inverse changed op count")
+	}
+	for i := range c.Ops {
+		if c.Ops[i] != double.Ops[i] {
+			t.Errorf("op %d: %v != %v", i, c.Ops[i], double.Ops[i])
+		}
+	}
+}

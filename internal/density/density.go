@@ -1,0 +1,275 @@
+// Package density implements an exact density-matrix simulator for
+// small registers. Where the trajectory engine in internal/noise samples
+// the depolarizing channels Monte Carlo style, this package evolves the
+// full density operator ρ through gates (ρ → UρU†) and channels
+// (ρ → Σ_k K_k ρ K_k†) exactly. It is quadratically more expensive in
+// state dimension and exists for two purposes: validating the trajectory
+// engine (their outputs must agree as trajectories → ∞) and computing
+// exact reference curves for small-register experiments.
+package density
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"qfarith/internal/circuit"
+	"qfarith/internal/gate"
+	"qfarith/internal/mat"
+	"qfarith/internal/noise"
+	"qfarith/internal/sim"
+	"qfarith/internal/transpile"
+)
+
+// MaxQubits bounds the register: a 10-qubit ρ holds 2^20 complex entries
+// (16 MiB); beyond that the trajectory engine is the right tool.
+const MaxQubits = 10
+
+// Matrix is the density operator, dim x dim row-major.
+type Matrix struct {
+	n    int
+	dim  int
+	data []complex128
+}
+
+// New returns ρ = |0...0><0...0| on n qubits.
+func New(n int) *Matrix {
+	if n <= 0 || n > MaxQubits {
+		panic(fmt.Sprintf("density: invalid qubit count %d", n))
+	}
+	d := 1 << uint(n)
+	m := &Matrix{n: n, dim: d, data: make([]complex128, d*d)}
+	m.data[0] = 1
+	return m
+}
+
+// FromPure builds ρ = |ψ><ψ| from a state vector.
+func FromPure(amps []complex128) *Matrix {
+	d := len(amps)
+	n := 0
+	for 1<<uint(n) < d {
+		n++
+	}
+	if 1<<uint(n) != d {
+		panic("density: amplitude length not a power of two")
+	}
+	m := New(n)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			m.data[i*d+j] = amps[i] * cmplx.Conj(amps[j])
+		}
+	}
+	return m
+}
+
+// NumQubits returns the register width.
+func (m *Matrix) NumQubits() int { return m.n }
+
+// At returns ρ_ij.
+func (m *Matrix) At(i, j int) complex128 { return m.data[i*m.dim+j] }
+
+// Trace returns tr ρ (1 for a valid state).
+func (m *Matrix) Trace() complex128 {
+	var s complex128
+	for i := 0; i < m.dim; i++ {
+		s += m.data[i*m.dim+i]
+	}
+	return s
+}
+
+// Purity returns tr ρ² (1 iff pure).
+func (m *Matrix) Purity() float64 {
+	var s complex128
+	for i := 0; i < m.dim; i++ {
+		for j := 0; j < m.dim; j++ {
+			s += m.data[i*m.dim+j] * m.data[j*m.dim+i]
+		}
+	}
+	return real(s)
+}
+
+// ApplyOp applies a gate: ρ → U ρ U†. Rather than building 2^n x 2^n
+// unitaries, it borrows the statevector kernels: each column of ρ is a
+// vector acted on by U, then each row's conjugate is acted on by U to
+// realize the right-multiplication by U†.
+func (m *Matrix) ApplyOp(op circuit.Op) {
+	d := m.dim
+	// Left multiply: each column j of ρ is a vector; apply U.
+	col := sim.NewState(m.n)
+	amps := col.Amps()
+	for j := 0; j < d; j++ {
+		for i := 0; i < d; i++ {
+			amps[i] = m.data[i*d+j]
+		}
+		col.ApplyOp(op)
+		for i := 0; i < d; i++ {
+			m.data[i*d+j] = amps[i]
+		}
+	}
+	// Right multiply by U†: (ρU†)_ij = Σ_k ρ_ik (U†)_kj = conj(U ρ†)...
+	// Equivalently apply U to each row's conjugate and conjugate back.
+	for i := 0; i < d; i++ {
+		row := m.data[i*d : (i+1)*d]
+		for k := 0; k < d; k++ {
+			amps[k] = cmplx.Conj(row[k])
+		}
+		col.ApplyOp(op)
+		for k := 0; k < d; k++ {
+			row[k] = cmplx.Conj(amps[k])
+		}
+	}
+}
+
+// ApplyCircuit applies every op of c.
+func (m *Matrix) ApplyCircuit(c *circuit.Circuit) {
+	if c.NumQubits > m.n {
+		panic("density: circuit wider than register")
+	}
+	for _, op := range c.Ops {
+		m.ApplyOp(op)
+	}
+}
+
+// Depolarize1 applies the 1q depolarizing channel with parameter lambda
+// to qubit q: ρ → (1-λ)ρ + (λ/4)(ρ + XρX + YρY + ZρZ) — implemented as
+// the equivalent Pauli mixture (1-3λ/4)ρ + (λ/4)Σ_{P≠I} PρP.
+func (m *Matrix) Depolarize1(q int, lambda float64) {
+	if lambda <= 0 {
+		return
+	}
+	orig := append([]complex128(nil), m.data...)
+	scale(m.data, complex(1-3*lambda/4, 0))
+	for _, k := range []gate.Kind{gate.X, gate.Y, gate.Z} {
+		tmp := &Matrix{n: m.n, dim: m.dim, data: append([]complex128(nil), orig...)}
+		tmp.ApplyOp(circuit.NewOp(k, 0, q))
+		axpy(m.data, tmp.data, complex(lambda/4, 0))
+	}
+}
+
+// Depolarize2 applies the 2q depolarizing channel with parameter lambda
+// to qubits (a, b): identity with weight 1-15λ/16 plus each non-identity
+// Pauli pair with weight λ/16.
+func (m *Matrix) Depolarize2(a, b int, lambda float64) {
+	if lambda <= 0 {
+		return
+	}
+	orig := append([]complex128(nil), m.data...)
+	scale(m.data, complex(1-15*lambda/16, 0))
+	paulis := []gate.Kind{gate.I, gate.X, gate.Y, gate.Z}
+	for pa := 0; pa < 4; pa++ {
+		for pb := 0; pb < 4; pb++ {
+			if pa == 0 && pb == 0 {
+				continue
+			}
+			tmp := &Matrix{n: m.n, dim: m.dim, data: append([]complex128(nil), orig...)}
+			if pa != 0 {
+				tmp.ApplyOp(circuit.NewOp(paulis[pa], 0, a))
+			}
+			if pb != 0 {
+				tmp.ApplyOp(circuit.NewOp(paulis[pb], 0, b))
+			}
+			axpy(m.data, tmp.data, complex(lambda/16, 0))
+		}
+	}
+}
+
+// AmplitudeDamp applies the exact amplitude damping channel with
+// parameter gamma to qubit q via its two Kraus operators.
+func (m *Matrix) AmplitudeDamp(q int, gamma float64) {
+	if gamma <= 0 {
+		return
+	}
+	d := m.dim
+	k0 := mat.FromSlice(2, 2, []complex128{1, 0, 0, complex(cmplxSqrt(1-gamma), 0)})
+	k1 := mat.FromSlice(2, 2, []complex128{0, complex(cmplxSqrt(gamma), 0), 0, 0})
+	out := make([]complex128, d*d)
+	for _, k := range []*mat.Matrix{k0, k1} {
+		tmp := append([]complex128(nil), m.data...)
+		applyKraus(tmp, m.n, q, k)
+		for i := range out {
+			out[i] += tmp[i]
+		}
+	}
+	copy(m.data, out)
+}
+
+func cmplxSqrt(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return real(cmplx.Sqrt(complex(x, 0)))
+}
+
+// applyKraus computes K ρ K† in place for a single-qubit Kraus operator.
+func applyKraus(data []complex128, n, q int, k *mat.Matrix) {
+	d := 1 << uint(n)
+	// Left: K·ρ over columns.
+	step := 1 << uint(q)
+	for j := 0; j < d; j++ {
+		for g := 0; g < d; g += 2 * step {
+			for i := g; i < g+step; i++ {
+				a0 := data[i*d+j]
+				a1 := data[(i+step)*d+j]
+				data[i*d+j] = k.At(0, 0)*a0 + k.At(0, 1)*a1
+				data[(i+step)*d+j] = k.At(1, 0)*a0 + k.At(1, 1)*a1
+			}
+		}
+	}
+	// Right: ·K† over rows.
+	for i := 0; i < d; i++ {
+		row := data[i*d : (i+1)*d]
+		for g := 0; g < d; g += 2 * step {
+			for jj := g; jj < g+step; jj++ {
+				a0 := row[jj]
+				a1 := row[jj+step]
+				row[jj] = a0*cmplx.Conj(k.At(0, 0)) + a1*cmplx.Conj(k.At(0, 1))
+				row[jj+step] = a0*cmplx.Conj(k.At(1, 0)) + a1*cmplx.Conj(k.At(1, 1))
+			}
+		}
+	}
+}
+
+func scale(v []complex128, s complex128) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+func axpy(dst, src []complex128, a complex128) {
+	for i := range dst {
+		dst[i] += a * src[i]
+	}
+}
+
+// RegisterProbs returns the marginal distribution of the given qubits
+// (LSB first) from the diagonal of ρ.
+func (m *Matrix) RegisterProbs(qubits []int) []float64 {
+	out := make([]float64, 1<<uint(len(qubits)))
+	for idx := 0; idx < m.dim; idx++ {
+		p := real(m.data[idx*m.dim+idx])
+		v := 0
+		for i, q := range qubits {
+			v |= ((idx >> uint(q)) & 1) << uint(i)
+		}
+		out[v] += p
+	}
+	return out
+}
+
+// RunNoisy evolves ρ through a transpiled circuit under the given
+// depolarizing model, applying each gate's channel exactly after the
+// gate — the exact counterpart of noise.Engine's trajectory sampling.
+func RunNoisy(m *Matrix, res *transpile.Result, model noise.Model) {
+	for _, op := range res.Ops {
+		m.ApplyOp(op)
+		switch op.Kind {
+		case gate.CX:
+			m.Depolarize2(op.Qubits[0], op.Qubits[1], model.TwoQubit)
+		case gate.X, gate.SX:
+			m.Depolarize1(op.Qubits[0], model.OneQubit)
+		case gate.RZ, gate.I:
+			if model.NoiseOnRZ {
+				m.Depolarize1(op.Qubits[0], model.OneQubit)
+			}
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package experiment reproduces the paper's evaluation: it sweeps
+// QFA/QFM success rates over gate error rates, AQFT approximation
+// depths, and operand superposition orders, scoring each point with the
+// metrics package exactly as Sec. 4 describes (random operand instances,
+// fixed shots each, success = no incorrect output out-counting a correct
+// one).
+package experiment
+
+import (
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"qfarith/internal/arith"
+	"qfarith/internal/metrics"
+	"qfarith/internal/noise"
+	"qfarith/internal/sim"
+	"qfarith/internal/transpile"
+)
+
+// Op selects the arithmetic operation under test.
+type Op int
+
+const (
+	// OpAdd is Quantum Fourier Addition with the paper's Fig. 3
+	// geometry: a 7-qubit addend register x and an 8-qubit sum register
+	// y (the register pair whose Table I gate counts match the paper).
+	OpAdd Op = iota
+	// OpMul is Quantum Fourier Multiplication with the Fig. 4 geometry:
+	// 4-qubit multiplicands and an 8-qubit product register.
+	OpMul
+)
+
+func (o Op) String() string {
+	if o == OpAdd {
+		return "qfa"
+	}
+	return "qfm"
+}
+
+// Geometry fixes the register layout of an operation.
+type Geometry struct {
+	Op             Op
+	XBits, YBits   int   // operand register widths
+	TotalQubits    int   // full simulator width
+	XReg, YReg     []int // operand register qubit indices (LSB first)
+	OutReg         []int // measured register
+	OutBits        int
+	ProductInWires bool // true when a separate product register exists
+	ZReg           []int
+}
+
+// AddGeometry returns the paper's QFA layout: x on qubits 0..xbits-1,
+// y on xbits..xbits+ybits-1; the sum register y is measured.
+func AddGeometry(xbits, ybits int) Geometry {
+	return Geometry{
+		Op: OpAdd, XBits: xbits, YBits: ybits,
+		TotalQubits: xbits + ybits,
+		XReg:        arith.Range(0, xbits),
+		YReg:        arith.Range(xbits, ybits),
+		OutReg:      arith.Range(xbits, ybits),
+		OutBits:     ybits,
+	}
+}
+
+// MulGeometry returns the paper's QFM layout: product z on qubits
+// 0..n+m-1, multiplicand y next, multiplier x last; z is measured.
+func MulGeometry(n, m int) Geometry {
+	return Geometry{
+		Op: OpMul, XBits: n, YBits: m,
+		TotalQubits:    2*n + 2*m,
+		XReg:           arith.Range(n+2*m, n),
+		YReg:           arith.Range(n+m, m),
+		ZReg:           arith.Range(0, n+m),
+		OutReg:         arith.Range(0, n+m),
+		OutBits:        n + m,
+		ProductInWires: true,
+	}
+}
+
+// PaperAddGeometry is the Fig. 3 / Table I QFA configuration.
+func PaperAddGeometry() Geometry { return AddGeometry(7, 8) }
+
+// PaperMulGeometry is the Fig. 4 / Table I QFM configuration.
+func PaperMulGeometry() Geometry { return MulGeometry(4, 4) }
+
+// BuildCircuit constructs the operation's circuit at AQFT depth d.
+func (g Geometry) BuildCircuit(d int) *transpile.Result {
+	cfg := arith.Config{Depth: d, AddCut: arith.FullAdd}
+	return g.BuildCircuitCfg(cfg)
+}
+
+// BuildCircuitCfg constructs the circuit with full arithmetic config
+// (exposes the add-step cutoff for the ablation experiment).
+func (g Geometry) BuildCircuitCfg(cfg arith.Config) *transpile.Result {
+	c := newCircuit(g.TotalQubits)
+	switch g.Op {
+	case OpAdd:
+		arith.QFAGates(c, g.XReg, g.YReg, cfg)
+	case OpMul:
+		arith.QFMGates(c, g.XReg, g.YReg, g.ZReg, cfg)
+	}
+	return transpile.Transpile(c)
+}
+
+// PointConfig describes a single plotted point of Figs. 3/4.
+type PointConfig struct {
+	Geometry Geometry
+	Depth    int // AQFT depth; qft.Full for the full transform
+	Model    noise.Model
+	// OrderX and OrderY are each operand's order of superposition (the
+	// paper sweeps 1:1, 1:2, 2:2; for addition the order-2 operand of a
+	// 1:2 instance is the updated register y, per Sec. 4).
+	OrderX, OrderY int
+	Instances      int
+	Shots          int
+	Trajectories   int
+	// RowSeed fixes operand sampling: the paper reuses the same operand
+	// sets across the 1q and 2q columns of a row, so RowSeed should
+	// depend only on (op, orders) while PointSeed varies per point.
+	RowSeed   uint64
+	PointSeed uint64
+	// Workers bounds instance-level parallelism; 0 = GOMAXPROCS.
+	Workers int
+}
+
+// PointResult is the aggregated outcome of one plotted point.
+type PointResult struct {
+	Config PointConfig
+	Stats  metrics.PointStats
+	// NoErrorProb and ExpectedErrors describe the noise exposure of the
+	// circuit at this point.
+	NoErrorProb    float64
+	ExpectedErrors float64
+	Native1q       int
+	Native2q       int
+	Paper1q        int
+	Paper2q        int
+}
+
+// splitSeed derives a decorrelated stream seed with SplitMix64.
+func splitSeed(base, idx uint64) uint64 {
+	z := base + 0x9e3779b97f4a7c15*(idx+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// sampleDistinct draws k distinct integers from [0, n).
+func sampleDistinct(rng *rand.Rand, k, n int) []int {
+	if k > n {
+		panic("experiment: cannot sample more distinct values than the range holds")
+	}
+	out := make([]int, 0, k)
+	seen := make(map[int]bool, k)
+	for len(out) < k {
+		v := rng.IntN(n)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// instanceOperands draws the operand values for instance idx of a row.
+func (cfg PointConfig) instanceOperands(idx int) (xs, ys []int) {
+	rng := rand.New(rand.NewPCG(splitSeed(cfg.RowSeed, uint64(idx)), 0x5851f42d4c957f2d))
+	xs = sampleDistinct(rng, cfg.OrderX, 1<<uint(cfg.Geometry.XBits))
+	ys = sampleDistinct(rng, cfg.OrderY, 1<<uint(cfg.Geometry.YBits))
+	return
+}
+
+// initialAmps writes the product-state amplitudes for the given operand
+// superpositions into buf (cleared first): equal magnitudes, zero phase,
+// matching the paper's evenly-distributed probability amplitudes.
+func (cfg PointConfig) initialAmps(buf []complex128, xs, ys []int) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	g := cfg.Geometry
+	amp := complex(1/math.Sqrt(float64(len(xs)*len(ys))), 0)
+	for _, x := range xs {
+		for _, y := range ys {
+			var idx int
+			switch g.Op {
+			case OpAdd:
+				idx = x | y<<uint(g.XBits)
+			case OpMul:
+				// z starts at 0; y then x above it.
+				idx = y<<uint(g.OutBits) | x<<uint(g.OutBits+g.YBits)
+			}
+			buf[idx] = amp
+		}
+	}
+}
+
+// correctSet returns the expected output values for the operands.
+func (cfg PointConfig) correctSet(xs, ys []int) map[int]bool {
+	if cfg.Geometry.Op == OpAdd {
+		return metrics.CorrectSums(xs, ys, cfg.Geometry.OutBits)
+	}
+	return metrics.CorrectProducts(xs, ys, cfg.Geometry.OutBits)
+}
+
+// RunPoint simulates every instance of one point and aggregates the
+// paper's statistics. Instances run in parallel across Workers.
+func RunPoint(cfg PointConfig) PointResult {
+	res := cfg.Geometry.BuildCircuit(cfg.Depth)
+	return runPointOn(cfg, res)
+}
+
+// RunPointCfg is RunPoint with an explicit arithmetic config (ablations).
+func RunPointCfg(cfg PointConfig, acfg arith.Config) PointResult {
+	res := cfg.Geometry.BuildCircuitCfg(acfg)
+	return runPointOn(cfg, res)
+}
+
+func runPointOn(cfg PointConfig, res *transpile.Result) PointResult {
+	engine := noise.NewEngine(res, cfg.Model)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Instances {
+		workers = cfg.Instances
+	}
+	results := make([]metrics.InstanceResult, cfg.Instances)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := sim.NewState(cfg.Geometry.TotalQubits)
+			initial := make([]complex128, st.Dim())
+			dist := make([]float64, 1<<uint(cfg.Geometry.OutBits))
+			ideal := make([]float64, 1<<uint(cfg.Geometry.OutBits))
+			for idx := range next {
+				results[idx] = cfg.runInstance(engine, st, initial, dist, ideal, idx)
+			}
+		}()
+	}
+	for i := 0; i < cfg.Instances; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	one, two := res.CountByArity()
+	p1, p2 := transpile.PaperCounts(srcCircuit(res))
+	return PointResult{
+		Config:         cfg,
+		Stats:          metrics.Aggregate(results),
+		NoErrorProb:    engine.NoErrorProb(),
+		ExpectedErrors: engine.ExpectedErrors(),
+		Native1q:       one,
+		Native2q:       two,
+		Paper1q:        p1,
+		Paper2q:        p2,
+	}
+}
+
+func (cfg PointConfig) runInstance(engine *noise.Engine, st *sim.State, initial []complex128, dist, ideal []float64, idx int) metrics.InstanceResult {
+	xs, ys := cfg.instanceOperands(idx)
+	cfg.initialAmps(initial, xs, ys)
+	rng := rand.New(rand.NewPCG(splitSeed(cfg.PointSeed, uint64(idx)), 0xda3e39cb94b95bdb))
+	engine.MixtureInto(dist, st, initial, noise.MixtureOpts{
+		Trajectories: cfg.Trajectories,
+		Measure:      cfg.Geometry.OutReg,
+		IdealOut:     ideal,
+	}, rng)
+	sampler := sim.NewSampler(splitSeed(cfg.PointSeed, uint64(idx)^0xabcdef), uint64(idx))
+	counts := sampler.Counts(dist, cfg.Shots)
+	res := metrics.Score(counts, cfg.correctSet(xs, ys))
+	res.Fidelity = metrics.ClassicalFidelity(ideal, dist)
+	return res
+}

@@ -1,0 +1,151 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OptimalDepth reports, for each error rate of a panel, which AQFT depth
+// maximized the success rate (ties broken toward shallower circuits,
+// matching how the paper reads its clusters) — the E5 extraction.
+type OptimalDepth struct {
+	Rate    float64
+	Depth   int
+	Success float64
+}
+
+// OptimalDepths scans a panel's grid.
+func (p PanelResult) OptimalDepths() []OptimalDepth {
+	out := make([]OptimalDepth, 0, len(p.Config.Rates))
+	for i, rate := range p.Config.Rates {
+		best := OptimalDepth{Rate: rate, Depth: p.Config.Depths[0], Success: -1}
+		for j, d := range p.Config.Depths {
+			s := p.Points[i][j].Stats.SuccessRate
+			if s > best.Success {
+				best.Depth, best.Success = d, s
+			}
+		}
+		out = append(out, best)
+	}
+	return out
+}
+
+// SummaryLine renders the optimal-depth ladder compactly.
+func (p PanelResult) SummaryLine() string {
+	var parts []string
+	for _, o := range p.OptimalDepths() {
+		parts = append(parts, fmt.Sprintf("%.2f%%→d=%s(%.0f%%)",
+			o.Rate*100, DepthLabel(o.Depth, depthRegWidth(p.Config.Geometry)), o.Success))
+	}
+	return fmt.Sprintf("%s %s %d:%d optimal depths: %s",
+		p.Config.Geometry.Op, p.Config.Axis, p.Config.OrderX, p.Config.OrderY,
+		strings.Join(parts, "  "))
+}
+
+// CSVRow is one parsed line of a panel CSV (the subset report tooling
+// needs).
+type CSVRow struct {
+	Op       string
+	Axis     string
+	RatePct  float64
+	Depth    string
+	OrderX   int
+	OrderY   int
+	Success  float64
+	Fidelity float64
+	W0       float64
+}
+
+// ParseCSV reads panel CSV content produced by PanelResult.CSV (it
+// tolerates the pre-fidelity column layout too).
+func ParseCSV(content string) ([]CSVRow, error) {
+	lines := strings.Split(strings.TrimSpace(content), "\n")
+	if len(lines) < 1 {
+		return nil, fmt.Errorf("experiment: empty CSV")
+	}
+	header := strings.Split(lines[0], ",")
+	col := map[string]int{}
+	for i, h := range header {
+		col[strings.TrimSpace(h)] = i
+	}
+	for _, need := range []string{"op", "axis", "rate_pct", "depth", "order_x", "order_y", "success_pct"} {
+		if _, ok := col[need]; !ok {
+			return nil, fmt.Errorf("experiment: CSV missing column %q", need)
+		}
+	}
+	var rows []CSVRow
+	for ln, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		if len(f) < len(header) {
+			return nil, fmt.Errorf("experiment: line %d has %d fields, want %d", ln+2, len(f), len(header))
+		}
+		get := func(name string) string { return strings.TrimSpace(f[col[name]]) }
+		num := func(name string) (float64, error) { return strconv.ParseFloat(get(name), 64) }
+		rate, err := num("rate_pct")
+		if err != nil {
+			return nil, fmt.Errorf("experiment: line %d: %w", ln+2, err)
+		}
+		succ, err := num("success_pct")
+		if err != nil {
+			return nil, fmt.Errorf("experiment: line %d: %w", ln+2, err)
+		}
+		ox, err := strconv.Atoi(get("order_x"))
+		if err != nil {
+			return nil, fmt.Errorf("experiment: line %d: %w", ln+2, err)
+		}
+		oy, err := strconv.Atoi(get("order_y"))
+		if err != nil {
+			return nil, fmt.Errorf("experiment: line %d: %w", ln+2, err)
+		}
+		row := CSVRow{
+			Op: get("op"), Axis: get("axis"), RatePct: rate, Depth: get("depth"),
+			OrderX: ox, OrderY: oy, Success: succ,
+		}
+		if _, ok := col["mean_fidelity"]; ok {
+			row.Fidelity, _ = num("mean_fidelity")
+		}
+		if _, ok := col["w0"]; ok {
+			row.W0, _ = num("w0")
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ReportFromCSV summarizes parsed rows: one optimal-depth line per
+// (rate) cluster, mirroring SummaryLine for on-disk results.
+func ReportFromCSV(rows []CSVRow) string {
+	if len(rows) == 0 {
+		return "(no rows)\n"
+	}
+	byRate := map[float64][]CSVRow{}
+	var rates []float64
+	for _, r := range rows {
+		if _, ok := byRate[r.RatePct]; !ok {
+			rates = append(rates, r.RatePct)
+		}
+		byRate[r.RatePct] = append(byRate[r.RatePct], r)
+	}
+	sort.Float64s(rates)
+	var sb strings.Builder
+	head := rows[0]
+	fmt.Fprintf(&sb, "%s %s-axis %d:%d (%d rates x %d depths)\n",
+		head.Op, head.Axis, head.OrderX, head.OrderY, len(rates), len(byRate[rates[0]]))
+	for _, rate := range rates {
+		cluster := byRate[rate]
+		best := cluster[0]
+		for _, r := range cluster[1:] {
+			if r.Success > best.Success {
+				best = r
+			}
+		}
+		fmt.Fprintf(&sb, "  %5.2f%%: best d=%-4s %6.1f%% success", rate, best.Depth, best.Success)
+		if best.Fidelity > 0 {
+			fmt.Fprintf(&sb, "  (fidelity %.3f)", best.Fidelity)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,269 @@
+// Package gate defines the quantum gate set used throughout the library:
+// names, parameter conventions, unitary matrices, arities, and inverses.
+//
+// Conventions. Matrices use the textbook (big-endian) basis ordering the
+// paper uses: for a k-qubit gate the basis index is built with the first
+// listed qubit as the most significant bit. Controlled gates list controls
+// first, target last. Phase gates follow the paper's R_l notation:
+// R(l) = P(2π/2^l), the phase gate diag(1, e^{i2π/2^l}).
+package gate
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"qfarith/internal/mat"
+)
+
+// Kind enumerates the gates understood by the circuit IR, the transpiler,
+// and the simulator kernels.
+type Kind uint8
+
+const (
+	// Invalid is the zero Kind and is never a valid gate.
+	Invalid Kind = iota
+
+	// --- 1-qubit gates ---
+	I   // identity (explicit, so noise can attach to idle "id" gates)
+	X   // Pauli X
+	Y   // Pauli Y
+	Z   // Pauli Z
+	H   // Hadamard
+	S   // phase S = P(π/2)
+	Sdg // S†
+	T   // T = P(π/4)
+	Tdg // T†
+	SX  // sqrt-X (native IBM gate)
+	SXdg
+	RX // rotation exp(-iθX/2); parameterized
+	RY // rotation exp(-iθY/2); parameterized
+	RZ // rotation exp(-iθZ/2); parameterized
+	P  // phase gate diag(1, e^{iθ}); parameterized
+
+	// --- 2-qubit gates ---
+	CX   // controlled-X (CNOT); native IBM gate
+	CZ   // controlled-Z
+	CP   // controlled phase diag(1,1,1,e^{iθ}); parameterized
+	CH   // controlled Hadamard
+	CRY  // controlled RY; parameterized (used by the state initializer)
+	SWAP // swap
+
+	// --- 3-qubit gates ---
+	CCX // Toffoli
+	CCP // doubly-controlled phase; parameterized
+	CCH // doubly-controlled Hadamard
+
+	numKinds
+)
+
+var names = map[Kind]string{
+	I: "id", X: "x", Y: "y", Z: "z", H: "h", S: "s", Sdg: "sdg",
+	T: "t", Tdg: "tdg", SX: "sx", SXdg: "sxdg",
+	RX: "rx", RY: "ry", RZ: "rz", P: "p",
+	CX: "cx", CZ: "cz", CP: "cp", CH: "ch", CRY: "cry", SWAP: "swap",
+	CCX: "ccx", CCP: "ccp", CCH: "cch",
+}
+
+// Name returns the lowercase OpenQASM-style mnemonic of k.
+func (k Kind) Name() string {
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("gate(%d)", uint8(k))
+}
+
+func (k Kind) String() string { return k.Name() }
+
+// Arity returns the number of qubits k acts on (controls included).
+func (k Kind) Arity() int {
+	switch k {
+	case I, X, Y, Z, H, S, Sdg, T, Tdg, SX, SXdg, RX, RY, RZ, P:
+		return 1
+	case CX, CZ, CP, CH, CRY, SWAP:
+		return 2
+	case CCX, CCP, CCH:
+		return 3
+	default:
+		panic(fmt.Sprintf("gate: Arity of invalid kind %d", uint8(k)))
+	}
+}
+
+// Parameterized reports whether k takes an angle parameter.
+func (k Kind) Parameterized() bool {
+	switch k {
+	case RX, RY, RZ, P, CP, CRY, CCP:
+		return true
+	}
+	return false
+}
+
+// Controls returns how many of k's qubits are controls (listed first).
+func (k Kind) Controls() int {
+	switch k {
+	case CX, CZ, CP, CH, CRY:
+		return 1
+	case CCX, CCP, CCH:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Diagonal reports whether k's matrix is diagonal in the computational
+// basis. Diagonal gates commute with each other and with measurements in
+// that basis; the simulator exploits this with phase-only kernels.
+func (k Kind) Diagonal() bool {
+	switch k {
+	case I, Z, S, Sdg, T, Tdg, RZ, P, CZ, CP, CCP:
+		return true
+	}
+	return false
+}
+
+// RTheta returns the paper's R_l rotation angle 2π/2^l.
+func RTheta(l int) float64 {
+	return 2 * math.Pi / math.Pow(2, float64(l))
+}
+
+// Base returns the single-qubit "payload" matrix of a (possibly
+// controlled) gate kind, i.e. the unitary applied to the target when all
+// controls are 1. For SWAP this panics.
+func Base(k Kind, theta float64) *mat.Matrix {
+	e := func(t float64) complex128 { return cmplx.Exp(complex(0, t)) }
+	s2 := complex(1/math.Sqrt2, 0)
+	switch k {
+	case I:
+		return mat.Identity(2)
+	case X, CX, CCX:
+		return mat.FromSlice(2, 2, []complex128{0, 1, 1, 0})
+	case Y:
+		return mat.FromSlice(2, 2, []complex128{0, -1i, 1i, 0})
+	case Z, CZ:
+		return mat.FromSlice(2, 2, []complex128{1, 0, 0, -1})
+	case H, CH, CCH:
+		return mat.FromSlice(2, 2, []complex128{s2, s2, s2, -s2})
+	case S:
+		return mat.FromSlice(2, 2, []complex128{1, 0, 0, 1i})
+	case Sdg:
+		return mat.FromSlice(2, 2, []complex128{1, 0, 0, -1i})
+	case T:
+		return mat.FromSlice(2, 2, []complex128{1, 0, 0, e(math.Pi / 4)})
+	case Tdg:
+		return mat.FromSlice(2, 2, []complex128{1, 0, 0, e(-math.Pi / 4)})
+	case SX:
+		return mat.FromSlice(2, 2, []complex128{
+			(1 + 1i) / 2, (1 - 1i) / 2,
+			(1 - 1i) / 2, (1 + 1i) / 2,
+		})
+	case SXdg:
+		return mat.FromSlice(2, 2, []complex128{
+			(1 - 1i) / 2, (1 + 1i) / 2,
+			(1 + 1i) / 2, (1 - 1i) / 2,
+		})
+	case RX:
+		c := complex(math.Cos(theta/2), 0)
+		s := complex(0, -math.Sin(theta/2))
+		return mat.FromSlice(2, 2, []complex128{c, s, s, c})
+	case RY, CRY:
+		c := complex(math.Cos(theta/2), 0)
+		s := complex(math.Sin(theta/2), 0)
+		return mat.FromSlice(2, 2, []complex128{c, -s, s, c})
+	case RZ:
+		return mat.FromSlice(2, 2, []complex128{e(-theta / 2), 0, 0, e(theta / 2)})
+	case P, CP, CCP:
+		return mat.FromSlice(2, 2, []complex128{1, 0, 0, e(theta)})
+	default:
+		panic(fmt.Sprintf("gate: Base undefined for %s", k))
+	}
+}
+
+// Matrix returns the full 2^arity x 2^arity unitary of the gate in
+// big-endian basis ordering (first qubit most significant; controls
+// listed before the target).
+func Matrix(k Kind, theta float64) *mat.Matrix {
+	if k == SWAP {
+		return mat.FromSlice(4, 4, []complex128{
+			1, 0, 0, 0,
+			0, 0, 1, 0,
+			0, 1, 0, 0,
+			0, 0, 0, 1,
+		})
+	}
+	base := Base(k, theta)
+	nc := k.Controls()
+	if nc == 0 {
+		return base
+	}
+	dim := 1 << (nc + 1)
+	m := mat.Identity(dim)
+	// Controls are the most significant bits; the active block is the
+	// bottom-right 2x2 where all controls are 1.
+	off := dim - 2
+	m.Set(off, off, base.At(0, 0))
+	m.Set(off, off+1, base.At(0, 1))
+	m.Set(off+1, off, base.At(1, 0))
+	m.Set(off+1, off+1, base.At(1, 1))
+	return m
+}
+
+// Inverse returns the kind and parameter of the inverse gate. Every gate
+// in the set has an inverse expressible in the same set.
+func Inverse(k Kind, theta float64) (Kind, float64) {
+	switch k {
+	case I, X, Y, Z, H, CX, CZ, CH, SWAP, CCX, CCH:
+		return k, 0
+	case S:
+		return Sdg, 0
+	case Sdg:
+		return S, 0
+	case T:
+		return Tdg, 0
+	case Tdg:
+		return T, 0
+	case SX:
+		return SXdg, 0
+	case SXdg:
+		return SX, 0
+	case RX, RY, RZ, P, CP, CRY, CCP:
+		return k, -theta
+	default:
+		panic(fmt.Sprintf("gate: Inverse undefined for %s", k))
+	}
+}
+
+// AddControl returns the kind obtained by prefixing one control qubit to
+// k, when that gate exists in the set; ok reports whether it does.
+func AddControl(k Kind) (ctrl Kind, ok bool) {
+	switch k {
+	case X:
+		return CX, true
+	case Z:
+		return CZ, true
+	case H:
+		return CH, true
+	case P:
+		return CP, true
+	case RY:
+		return CRY, true
+	case CX:
+		return CCX, true
+	case CP:
+		return CCP, true
+	case CH:
+		return CCH, true
+	case I:
+		return I, true // controlled identity is the identity
+	}
+	return Invalid, false
+}
+
+// IsNative reports whether k belongs to the IBM superconducting native
+// basis {id, x, rz, sx, cx} the paper transpiles to.
+func IsNative(k Kind) bool {
+	switch k {
+	case I, X, RZ, SX, CX:
+		return true
+	}
+	return false
+}

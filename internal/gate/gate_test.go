@@ -1,0 +1,185 @@
+package gate_test
+
+import (
+	"math"
+	"testing"
+
+	"qfarith/internal/gate"
+	"qfarith/internal/mat"
+)
+
+const tol = 1e-12
+
+var allKinds = []gate.Kind{
+	gate.I, gate.X, gate.Y, gate.Z, gate.H, gate.S, gate.Sdg, gate.T,
+	gate.Tdg, gate.SX, gate.SXdg, gate.RX, gate.RY, gate.RZ, gate.P,
+	gate.CX, gate.CZ, gate.CP, gate.CH, gate.CRY, gate.SWAP,
+	gate.CCX, gate.CCP, gate.CCH,
+}
+
+var testAngles = []float64{0, math.Pi / 7, math.Pi / 2, math.Pi, -math.Pi / 3, 2 * math.Pi / 64}
+
+func TestMatricesAreUnitary(t *testing.T) {
+	for _, k := range allKinds {
+		angles := []float64{0}
+		if k.Parameterized() {
+			angles = testAngles
+		}
+		for _, th := range angles {
+			m := gate.Matrix(k, th)
+			if got, want := m.Rows, 1<<uint(k.Arity()); got != want {
+				t.Fatalf("%s: matrix dim %d, want %d", k, got, want)
+			}
+			if !mat.IsUnitary(m, tol) {
+				t.Errorf("%s(θ=%g): matrix not unitary", k, th)
+			}
+		}
+	}
+}
+
+func TestInverseGates(t *testing.T) {
+	for _, k := range allKinds {
+		angles := []float64{0}
+		if k.Parameterized() {
+			angles = testAngles
+		}
+		for _, th := range angles {
+			ik, ith := gate.Inverse(k, th)
+			m := gate.Matrix(k, th)
+			im := gate.Matrix(ik, ith)
+			prod := mat.Mul(im, m)
+			if d := mat.MaxAbsDiff(prod, mat.Identity(m.Rows)); d > tol {
+				t.Errorf("%s(θ=%g): inverse %s(θ=%g) gives residual %g", k, th, ik, ith, d)
+			}
+		}
+	}
+}
+
+func TestControlledMatrixStructure(t *testing.T) {
+	// A controlled gate must be the identity on every basis state whose
+	// controls are not all 1, and the base gate on the active block.
+	cases := []struct {
+		k  gate.Kind
+		th float64
+	}{
+		{gate.CX, 0}, {gate.CZ, 0}, {gate.CP, math.Pi / 5}, {gate.CH, 0},
+		{gate.CRY, math.Pi / 3}, {gate.CCX, 0}, {gate.CCP, math.Pi / 9}, {gate.CCH, 0},
+	}
+	for _, c := range cases {
+		m := gate.Matrix(c.k, c.th)
+		nc := c.k.Controls()
+		dim := m.Rows
+		active := dim - 2
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				inActive := i >= active && j >= active
+				want := complex(0, 0)
+				if inActive {
+					base := gate.Base(c.k, c.th)
+					want = base.At(i-active, j-active)
+				} else if i == j {
+					want = 1
+				}
+				if d := m.At(i, j) - want; real(d)*real(d)+imag(d)*imag(d) > tol {
+					t.Fatalf("%s (%d controls): element (%d,%d) = %v, want %v", c.k, nc, i, j, m.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+func TestAddControl(t *testing.T) {
+	cases := []struct {
+		base, want gate.Kind
+	}{
+		{gate.X, gate.CX}, {gate.Z, gate.CZ}, {gate.H, gate.CH},
+		{gate.P, gate.CP}, {gate.RY, gate.CRY},
+		{gate.CX, gate.CCX}, {gate.CP, gate.CCP}, {gate.CH, gate.CCH},
+	}
+	for _, c := range cases {
+		got, ok := gate.AddControl(c.base)
+		if !ok || got != c.want {
+			t.Errorf("AddControl(%s) = %s,%v want %s", c.base, got, ok, c.want)
+		}
+	}
+	if _, ok := gate.AddControl(gate.SWAP); ok {
+		t.Error("AddControl(SWAP) should not exist in the gate set")
+	}
+	// Controlled gates' base matrices must match their uncontrolled
+	// counterparts so that Controlled circuits implement the same payload.
+	pairs := []struct{ base, ctrl gate.Kind }{
+		{gate.X, gate.CX}, {gate.H, gate.CH}, {gate.P, gate.CP}, {gate.CP, gate.CCP},
+	}
+	for _, p := range pairs {
+		th := math.Pi / 6
+		b := gate.Base(p.base, th)
+		cb := gate.Base(p.ctrl, th)
+		if d := mat.MaxAbsDiff(b, cb); d > tol {
+			t.Errorf("Base(%s) != Base(%s): %g", p.base, p.ctrl, d)
+		}
+	}
+}
+
+func TestRTheta(t *testing.T) {
+	if got := gate.RTheta(1); math.Abs(got-math.Pi) > tol {
+		t.Errorf("RTheta(1) = %g, want π", got)
+	}
+	if got := gate.RTheta(2); math.Abs(got-math.Pi/2) > tol {
+		t.Errorf("RTheta(2) = %g, want π/2", got)
+	}
+	for l := 1; l < 20; l++ {
+		if got, want := gate.RTheta(l+1), gate.RTheta(l)/2; math.Abs(got-want) > tol {
+			t.Errorf("RTheta(%d) should halve RTheta(%d)", l+1, l)
+		}
+	}
+}
+
+func TestSXSquaredIsX(t *testing.T) {
+	sx := gate.Matrix(gate.SX, 0)
+	x := gate.Matrix(gate.X, 0)
+	if d := mat.MaxAbsDiff(mat.Mul(sx, sx), x); d > tol {
+		t.Errorf("SX² != X, residual %g", d)
+	}
+}
+
+func TestNativeBasis(t *testing.T) {
+	native := []gate.Kind{gate.I, gate.X, gate.RZ, gate.SX, gate.CX}
+	for _, k := range native {
+		if !gate.IsNative(k) {
+			t.Errorf("%s should be native", k)
+		}
+	}
+	for _, k := range []gate.Kind{gate.H, gate.CP, gate.CCP, gate.CH, gate.P, gate.SWAP} {
+		if gate.IsNative(k) {
+			t.Errorf("%s should not be native", k)
+		}
+	}
+}
+
+func TestArityAndControls(t *testing.T) {
+	for _, k := range allKinds {
+		if k.Controls() >= k.Arity() {
+			t.Errorf("%s: controls %d >= arity %d", k, k.Controls(), k.Arity())
+		}
+	}
+	if gate.CCP.Arity() != 3 || gate.CCP.Controls() != 2 {
+		t.Error("CCP must be a 3-qubit, 2-control gate")
+	}
+}
+
+func TestDiagonalFlag(t *testing.T) {
+	for _, k := range allKinds {
+		if !k.Diagonal() {
+			continue
+		}
+		th := math.Pi / 5
+		m := gate.Matrix(k, th)
+		for i := 0; i < m.Rows; i++ {
+			for j := 0; j < m.Cols; j++ {
+				if i != j && m.At(i, j) != 0 {
+					t.Errorf("%s flagged diagonal but element (%d,%d) = %v", k, i, j, m.At(i, j))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package layout models restricted qubit connectivity. The paper
+// simulates an idealized device ("complete qubit connectivity ...
+// excluding noise associated with qubit-layout and/or swap-gates"); this
+// package supplies what that idealization removes: coupling maps for
+// real superconducting topologies, a SWAP-inserting router that
+// legalizes a circuit for a coupling map, and gate-overhead accounting —
+// so the layout cost the paper brackets out can be measured (experiment
+// E7).
+package layout
+
+import (
+	"fmt"
+)
+
+// CouplingMap is an undirected connectivity graph over physical qubits.
+type CouplingMap struct {
+	NumQubits int
+	adj       [][]bool
+	edges     [][2]int
+}
+
+// NewCouplingMap builds a map from an edge list.
+func NewCouplingMap(numQubits int, edges [][2]int) *CouplingMap {
+	if numQubits <= 0 {
+		panic("layout: need at least one qubit")
+	}
+	cm := &CouplingMap{NumQubits: numQubits}
+	cm.adj = make([][]bool, numQubits)
+	for i := range cm.adj {
+		cm.adj[i] = make([]bool, numQubits)
+	}
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a < 0 || b < 0 || a >= numQubits || b >= numQubits || a == b {
+			panic(fmt.Sprintf("layout: bad edge %v", e))
+		}
+		if !cm.adj[a][b] {
+			cm.adj[a][b], cm.adj[b][a] = true, true
+			cm.edges = append(cm.edges, [2]int{a, b})
+		}
+	}
+	return cm
+}
+
+// Linear returns the 1-D chain topology 0-1-2-...-n-1 (the worst
+// realistic case for QFT-style all-to-all circuits).
+func Linear(n int) *CouplingMap {
+	edges := make([][2]int, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return NewCouplingMap(n, edges)
+}
+
+// Ring returns the cycle topology.
+func Ring(n int) *CouplingMap {
+	edges := make([][2]int, 0, n)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	if n > 2 {
+		edges = append(edges, [2]int{n - 1, 0})
+	}
+	return NewCouplingMap(n, edges)
+}
+
+// Grid returns the rows x cols lattice topology.
+func Grid(rows, cols int) *CouplingMap {
+	var edges [][2]int
+	at := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, [2]int{at(r, c), at(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, [2]int{at(r, c), at(r+1, c)})
+			}
+		}
+	}
+	return NewCouplingMap(rows*cols, edges)
+}
+
+// HeavyHexFalcon27 returns the 27-qubit heavy-hex coupling map of IBM's
+// Falcon processors (e.g. ibmq_mumbai), the architecture generation the
+// paper's error-rate anchors describe.
+func HeavyHexFalcon27() *CouplingMap {
+	edges := [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 5}, {4, 1}, {5, 8}, {6, 7}, {7, 10},
+		{8, 9}, {8, 11}, {10, 12}, {11, 14}, {12, 13}, {12, 15}, {13, 14},
+		{14, 16}, {15, 18}, {16, 19}, {17, 18}, {18, 21}, {19, 20}, {19, 22},
+		{21, 23}, {22, 25}, {23, 24}, {24, 25}, {25, 26},
+	}
+	return NewCouplingMap(27, edges)
+}
+
+// Connected reports whether physical qubits a and b share an edge.
+func (cm *CouplingMap) Connected(a, b int) bool { return cm.adj[a][b] }
+
+// Edges returns the (deduplicated) edge list.
+func (cm *CouplingMap) Edges() [][2]int { return cm.edges }
+
+// Distances returns the all-pairs shortest-path distance matrix (BFS
+// per source; -1 for disconnected pairs).
+func (cm *CouplingMap) Distances() [][]int {
+	n := cm.NumQubits
+	dist := make([][]int, n)
+	for s := 0; s < n; s++ {
+		d := make([]int, n)
+		for i := range d {
+			d[i] = -1
+		}
+		d[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for u := 0; u < n; u++ {
+				if cm.adj[v][u] && d[u] < 0 {
+					d[u] = d[v] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+		dist[s] = d
+	}
+	return dist
+}
+
+// IsConnected reports whether the whole graph is one component.
+func (cm *CouplingMap) IsConnected() bool {
+	d := cm.Distances()
+	for _, v := range d[0] {
+		if v < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,282 @@
+// Package mat provides small dense complex-matrix linear algebra used to
+// define quantum gates, verify unitarity, and compare circuits against
+// their matrix semantics in tests. It is deliberately minimal: the
+// statevector simulator in internal/sim never materializes full operator
+// matrices; this package exists for gate definitions and verification.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// Matrix is a dense, row-major complex matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// New returns a zeroed Rows x Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// FromSlice builds a matrix from a row-major slice. The slice is copied.
+func FromSlice(rows, cols int, data []complex128) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: FromSlice got %d elements for %dx%d", len(data), rows, cols))
+	}
+	m := New(rows, cols)
+	copy(m.Data, data)
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Mul returns the matrix product a*b.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product a*v.
+func MulVec(a *Matrix, v []complex128) []complex128 {
+	if a.Cols != len(v) {
+		panic(fmt.Sprintf("mat: MulVec dimension mismatch %dx%d * %d", a.Rows, a.Cols, len(v)))
+	}
+	out := make([]complex128, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		var s complex128
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Kron returns the Kronecker (tensor) product a ⊗ b.
+func Kron(a, b *Matrix) *Matrix {
+	out := New(a.Rows*b.Rows, a.Cols*b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			av := a.At(i, j)
+			if av == 0 {
+				continue
+			}
+			for k := 0; k < b.Rows; k++ {
+				for l := 0; l < b.Cols; l++ {
+					out.Set(i*b.Rows+k, j*b.Cols+l, av*b.At(k, l))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Dagger returns the conjugate transpose of m.
+func Dagger(m *Matrix) *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, cmplx.Conj(m.At(i, j)))
+		}
+	}
+	return out
+}
+
+// Scale returns s*m.
+func Scale(s complex128, m *Matrix) *Matrix {
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}
+
+// Add returns a + b.
+func Add(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("mat: Add dimension mismatch")
+	}
+	out := a.Clone()
+	for i := range out.Data {
+		out.Data[i] += b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a - b.
+func Sub(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("mat: Sub dimension mismatch")
+	}
+	out := a.Clone()
+	for i := range out.Data {
+		out.Data[i] -= b.Data[i]
+	}
+	return out
+}
+
+// MaxAbsDiff returns max_ij |a_ij - b_ij|.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("mat: MaxAbsDiff dimension mismatch")
+	}
+	var max float64
+	for i := range a.Data {
+		if d := cmplx.Abs(a.Data[i] - b.Data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// IsUnitary reports whether m is square and m†m = I within tol.
+func IsUnitary(m *Matrix, tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	return MaxAbsDiff(Mul(Dagger(m), m), Identity(m.Rows)) <= tol
+}
+
+// EqualUpToGlobalPhase reports whether a = e^{iφ} b for some phase φ,
+// within tol. Both matrices must have the same shape.
+func EqualUpToGlobalPhase(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	// Find the largest-magnitude element of b to fix the phase.
+	var ref int = -1
+	var refMag float64
+	for i, v := range b.Data {
+		if m := cmplx.Abs(v); m > refMag {
+			refMag, ref = m, i
+		}
+	}
+	if ref < 0 { // b is zero; require a zero too
+		for _, v := range a.Data {
+			if cmplx.Abs(v) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if cmplx.Abs(a.Data[ref]) < tol && refMag >= tol {
+		return false
+	}
+	phase := a.Data[ref] / b.Data[ref]
+	if math.Abs(cmplx.Abs(phase)-1) > tol {
+		return false
+	}
+	return MaxAbsDiff(a, Scale(phase, b)) <= tol
+}
+
+// VecEqualUpToGlobalPhase reports whether vectors a = e^{iφ} b within tol.
+func VecEqualUpToGlobalPhase(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var ref = -1
+	var refMag float64
+	for i, v := range b {
+		if m := cmplx.Abs(v); m > refMag {
+			refMag, ref = m, i
+		}
+	}
+	if ref < 0 {
+		for _, v := range a {
+			if cmplx.Abs(v) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	phase := a[ref] / b[ref]
+	if math.Abs(cmplx.Abs(phase)-1) > tol {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-phase*b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// VecNorm returns the 2-norm of v.
+func VecNorm(v []complex128) float64 {
+	var s float64
+	for _, x := range v {
+		s += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return math.Sqrt(s)
+}
+
+// Fidelity returns |<a|b>|^2 for normalized state vectors a and b.
+func Fidelity(a, b []complex128) float64 {
+	if len(a) != len(b) {
+		panic("mat: Fidelity length mismatch")
+	}
+	var ip complex128
+	for i := range a {
+		ip += cmplx.Conj(a[i]) * b[i]
+	}
+	m := cmplx.Abs(ip)
+	return m * m
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			v := m.At(i, j)
+			fmt.Fprintf(&sb, "(%6.3f%+6.3fi) ", real(v), imag(v))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

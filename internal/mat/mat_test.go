@@ -1,0 +1,199 @@
+package mat_test
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"qfarith/internal/mat"
+)
+
+func TestIdentityAndMul(t *testing.T) {
+	id := mat.Identity(4)
+	a := mat.FromSlice(4, 4, []complex128{
+		1, 2, 0, 0,
+		0, 1i, 0, 3,
+		2, 0, 1, 0,
+		0, 0, 0, 1,
+	})
+	if d := mat.MaxAbsDiff(mat.Mul(a, id), a); d > 1e-15 {
+		t.Errorf("A*I != A: %g", d)
+	}
+	if d := mat.MaxAbsDiff(mat.Mul(id, a), a); d > 1e-15 {
+		t.Errorf("I*A != A: %g", d)
+	}
+}
+
+func TestMulKnownProduct(t *testing.T) {
+	a := mat.FromSlice(2, 2, []complex128{1, 2, 3, 4})
+	b := mat.FromSlice(2, 2, []complex128{0, 1, 1, 0})
+	p := mat.Mul(a, b)
+	want := mat.FromSlice(2, 2, []complex128{2, 1, 4, 3})
+	if d := mat.MaxAbsDiff(p, want); d > 1e-15 {
+		t.Errorf("product wrong by %g", d)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := mat.FromSlice(2, 3, []complex128{1, 0, 2, 0, 1i, 0})
+	v := []complex128{1, 2, 3}
+	got := mat.MulVec(a, v)
+	want := []complex128{7, 2i}
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > 1e-15 {
+			t.Errorf("MulVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKronDimensionsAndValues(t *testing.T) {
+	a := mat.FromSlice(2, 2, []complex128{1, 0, 0, 2})
+	b := mat.FromSlice(2, 2, []complex128{0, 1, 1, 0})
+	k := mat.Kron(a, b)
+	if k.Rows != 4 || k.Cols != 4 {
+		t.Fatalf("Kron dims %dx%d", k.Rows, k.Cols)
+	}
+	if k.At(0, 1) != 1 || k.At(2, 3) != 2 || k.At(3, 2) != 2 || k.At(0, 0) != 0 {
+		t.Errorf("Kron values wrong:\n%s", k)
+	}
+}
+
+func TestKronMixedProperty(t *testing.T) {
+	// (A⊗B)(C⊗D) = (AC)⊗(BD) for unitary-sized random matrices.
+	prop := func(seed int64) bool {
+		r := func(k int64) *mat.Matrix {
+			m := mat.New(2, 2)
+			s := k
+			for i := range m.Data {
+				s = s*6364136223846793005 + 1442695040888963407
+				m.Data[i] = complex(float64(s%7)-3, float64((s>>8)%5)-2)
+			}
+			return m
+		}
+		a, b, c, d := r(seed), r(seed+1), r(seed+2), r(seed+3)
+		lhs := mat.Mul(mat.Kron(a, b), mat.Kron(c, d))
+		rhs := mat.Kron(mat.Mul(a, c), mat.Mul(b, d))
+		return mat.MaxAbsDiff(lhs, rhs) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDagger(t *testing.T) {
+	a := mat.FromSlice(2, 3, []complex128{1 + 2i, 0, 3, 0, -1i, 5})
+	d := mat.Dagger(a)
+	if d.Rows != 3 || d.Cols != 2 {
+		t.Fatalf("Dagger dims %dx%d", d.Rows, d.Cols)
+	}
+	if d.At(0, 0) != 1-2i || d.At(1, 1) != 1i || d.At(2, 1) != 5 {
+		t.Error("Dagger values wrong")
+	}
+}
+
+func TestIsUnitary(t *testing.T) {
+	h := mat.FromSlice(2, 2, []complex128{
+		complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0),
+		complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0),
+	})
+	if !mat.IsUnitary(h, 1e-12) {
+		t.Error("H should be unitary")
+	}
+	notU := mat.FromSlice(2, 2, []complex128{1, 1, 0, 1})
+	if mat.IsUnitary(notU, 1e-12) {
+		t.Error("upper triangular ones is not unitary")
+	}
+	rect := mat.New(2, 3)
+	if mat.IsUnitary(rect, 1e-12) {
+		t.Error("rectangular matrix cannot be unitary")
+	}
+}
+
+func TestEqualUpToGlobalPhase(t *testing.T) {
+	a := mat.FromSlice(2, 2, []complex128{1, 0, 0, 1i})
+	phase := cmplx.Exp(complex(0, 0.7))
+	b := mat.Scale(phase, a)
+	if !mat.EqualUpToGlobalPhase(b, a, 1e-12) {
+		t.Error("global phase not recognized")
+	}
+	c := a.Clone()
+	c.Set(1, 1, -1i)
+	if mat.EqualUpToGlobalPhase(c, a, 1e-12) {
+		t.Error("distinct matrices reported phase-equal")
+	}
+	// Zero matrices compare equal.
+	if !mat.EqualUpToGlobalPhase(mat.New(2, 2), mat.New(2, 2), 1e-12) {
+		t.Error("zero matrices should compare equal")
+	}
+}
+
+func TestVecEqualUpToGlobalPhase(t *testing.T) {
+	a := []complex128{complex(1/math.Sqrt2, 0), complex(0, 1/math.Sqrt2)}
+	phase := cmplx.Exp(complex(0, -1.2))
+	b := []complex128{a[0] * phase, a[1] * phase}
+	if !mat.VecEqualUpToGlobalPhase(b, a, 1e-12) {
+		t.Error("vector global phase not recognized")
+	}
+	c := []complex128{a[0], -a[1]}
+	if mat.VecEqualUpToGlobalPhase(c, a, 1e-12) {
+		t.Error("relative phase difference missed")
+	}
+}
+
+func TestFidelity(t *testing.T) {
+	a := []complex128{1, 0}
+	b := []complex128{0, 1}
+	if f := mat.Fidelity(a, a); math.Abs(f-1) > 1e-15 {
+		t.Errorf("self fidelity %g", f)
+	}
+	if f := mat.Fidelity(a, b); f > 1e-15 {
+		t.Errorf("orthogonal fidelity %g", f)
+	}
+	c := []complex128{complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0)}
+	if f := mat.Fidelity(a, c); math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("overlap fidelity %g, want 0.5", f)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := mat.FromSlice(2, 2, []complex128{1, 2, 3, 4})
+	b := mat.FromSlice(2, 2, []complex128{4, 3, 2, 1})
+	s := mat.Add(a, b)
+	for _, v := range s.Data {
+		if v != 5 {
+			t.Fatalf("Add wrong: %v", s.Data)
+		}
+	}
+	d := mat.Sub(s, b)
+	if diff := mat.MaxAbsDiff(d, a); diff > 1e-15 {
+		t.Errorf("Sub round trip off by %g", diff)
+	}
+	sc := mat.Scale(2, a)
+	if sc.At(1, 1) != 8 {
+		t.Error("Scale wrong")
+	}
+}
+
+func TestVecNorm(t *testing.T) {
+	v := []complex128{3, 4i}
+	if n := mat.VecNorm(v); math.Abs(n-5) > 1e-12 {
+		t.Errorf("norm %g, want 5", n)
+	}
+}
+
+func TestPanicsOnBadDimensions(t *testing.T) {
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanic("Mul", func() { mat.Mul(mat.New(2, 3), mat.New(2, 3)) })
+	assertPanic("MulVec", func() { mat.MulVec(mat.New(2, 3), make([]complex128, 2)) })
+	assertPanic("Add", func() { mat.Add(mat.New(2, 2), mat.New(3, 3)) })
+	assertPanic("FromSlice", func() { mat.FromSlice(2, 2, make([]complex128, 3)) })
+	assertPanic("New", func() { mat.New(0, 5) })
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import "math"
+
+// The paper's closing discussion notes that at high error rates the
+// count-based success metric saturates at 0% and suggests "a more
+// advanced success metric, such as evaluating the quantum state
+// fidelity [Jozsa]". For measurement distributions the natural analogue
+// is the classical (Bhattacharyya) fidelity between the ideal and
+// observed outcome distributions — it equals the Jozsa fidelity of the
+// post-measurement (dephased) states and degrades smoothly where the
+// success rate cliffs.
+
+// ClassicalFidelity returns F(p, q) = (Σ √(p_i q_i))², the squared
+// Bhattacharyya coefficient between two outcome distributions. 1 iff
+// the distributions coincide; 0 iff their supports are disjoint.
+func ClassicalFidelity(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("metrics: fidelity length mismatch")
+	}
+	var bc float64
+	for i := range p {
+		a, b := p[i], q[i]
+		if a < 0 {
+			a = 0
+		}
+		if b < 0 {
+			b = 0
+		}
+		bc += math.Sqrt(a * b)
+	}
+	return bc * bc
+}
+
+// CountsFidelity is ClassicalFidelity with the observed side given as a
+// shot histogram.
+func CountsFidelity(ideal []float64, counts []int) float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		panic("metrics: empty histogram")
+	}
+	obs := make([]float64, len(counts))
+	for i, c := range counts {
+		obs[i] = float64(c) / float64(total)
+	}
+	return ClassicalFidelity(ideal, obs)
+}
+
+// HellingerDistance returns √(1 - √F), the metric companion of the
+// fidelity (0 = identical, 1 = disjoint).
+func HellingerDistance(p, q []float64) float64 {
+	f := ClassicalFidelity(p, q)
+	root := math.Sqrt(f)
+	if root > 1 {
+		root = 1
+	}
+	return math.Sqrt(1 - root)
+}
+
+// TotalVariation returns ½ Σ |p_i - q_i|, the statistical distance used
+// alongside fidelity in noise diagnostics.
+func TotalVariation(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("metrics: distance length mismatch")
+	}
+	var s float64
+	for i := range p {
+		s += math.Abs(p[i] - q[i])
+	}
+	return s / 2
+}

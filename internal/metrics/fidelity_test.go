@@ -1,0 +1,110 @@
+package metrics_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qfarith/internal/metrics"
+)
+
+func TestClassicalFidelityIdentical(t *testing.T) {
+	p := []float64{0.5, 0.25, 0.25, 0}
+	if f := metrics.ClassicalFidelity(p, p); math.Abs(f-1) > 1e-12 {
+		t.Errorf("self fidelity %g", f)
+	}
+}
+
+func TestClassicalFidelityDisjoint(t *testing.T) {
+	p := []float64{1, 0}
+	q := []float64{0, 1}
+	if f := metrics.ClassicalFidelity(p, q); f != 0 {
+		t.Errorf("disjoint fidelity %g", f)
+	}
+}
+
+func TestClassicalFidelityKnownValue(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{1, 0}
+	// BC = √0.5, F = 0.5.
+	if f := metrics.ClassicalFidelity(p, q); math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("fidelity %g, want 0.5", f)
+	}
+}
+
+func TestCountsFidelity(t *testing.T) {
+	ideal := []float64{0.5, 0.5, 0, 0}
+	counts := []int{512, 512, 0, 0}
+	if f := metrics.CountsFidelity(ideal, counts); math.Abs(f-1) > 1e-12 {
+		t.Errorf("matching counts fidelity %g", f)
+	}
+	counts = []int{1024, 0, 0, 0}
+	if f := metrics.CountsFidelity(ideal, counts); math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("collapsed counts fidelity %g, want 0.5", f)
+	}
+}
+
+func TestFidelitySymmetric(t *testing.T) {
+	prop := func(a, b, c, d uint8) bool {
+		p := normalize([]float64{float64(a) + 1, float64(b), float64(c), float64(d)})
+		q := normalize([]float64{float64(d) + 1, float64(c), float64(b), float64(a)})
+		f1 := metrics.ClassicalFidelity(p, q)
+		f2 := metrics.ClassicalFidelity(q, p)
+		return math.Abs(f1-f2) < 1e-12 && f1 >= 0 && f1 <= 1+1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func normalize(v []float64) []float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	for i := range v {
+		v[i] /= s
+	}
+	return v
+}
+
+func TestHellingerAndTV(t *testing.T) {
+	p := []float64{1, 0}
+	q := []float64{0, 1}
+	if h := metrics.HellingerDistance(p, q); math.Abs(h-1) > 1e-12 {
+		t.Errorf("disjoint Hellinger %g", h)
+	}
+	if h := metrics.HellingerDistance(p, p); h > 1e-12 {
+		t.Errorf("self Hellinger %g", h)
+	}
+	if tv := metrics.TotalVariation(p, q); math.Abs(tv-1) > 1e-12 {
+		t.Errorf("disjoint TV %g", tv)
+	}
+	if tv := metrics.TotalVariation(p, p); tv != 0 {
+		t.Errorf("self TV %g", tv)
+	}
+}
+
+// TestFidelityDegradesSmootherThanSuccess illustrates why the paper
+// suggests fidelity at high noise: mixing the ideal distribution with
+// uniform noise moves fidelity smoothly while the success metric jumps.
+func TestFidelityDegradesSmootherThanSuccess(t *testing.T) {
+	n := 16
+	ideal := make([]float64, n)
+	ideal[3] = 1
+	prev := 1.0
+	for _, w := range []float64{0, 0.25, 0.5, 0.75, 0.95} {
+		mixed := make([]float64, n)
+		for i := range mixed {
+			mixed[i] = (1-w)*ideal[i] + w/float64(n)
+		}
+		f := metrics.ClassicalFidelity(ideal, mixed)
+		if f > prev+1e-12 {
+			t.Errorf("fidelity not monotone at w=%g: %g > %g", w, f, prev)
+		}
+		if w > 0 && f <= 0 {
+			t.Errorf("fidelity collapsed to 0 at w=%g", w)
+		}
+		prev = f
+	}
+}

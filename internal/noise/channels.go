@@ -1,0 +1,144 @@
+package noise
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"qfarith/internal/sim"
+)
+
+// This file implements the error sources the paper explicitly defers to
+// future work (Sec. 1 and Sec. 5): thermal relaxation (amplitude
+// damping + dephasing derived from T1/T2), and qubit measurement
+// (readout) errors — plus elementary bit/phase-flip channels. They
+// compose with the depolarizing gate errors through FullEngine.
+
+// ApplyBitFlip applies the bit-flip channel to qubit q of a trajectory:
+// X with probability p.
+func ApplyBitFlip(st *sim.State, q int, p float64, rng *rand.Rand) {
+	if p > 0 && rng.Float64() < p {
+		st.X(q)
+	}
+}
+
+// ApplyPhaseFlip applies the phase-flip channel: Z with probability p.
+func ApplyPhaseFlip(st *sim.State, q int, p float64, rng *rand.Rand) {
+	if p > 0 && rng.Float64() < p {
+		st.Z(q)
+	}
+}
+
+// ApplyAmplitudeDamping applies one trajectory branch of the amplitude
+// damping channel with parameter gamma to qubit q: the decay Kraus
+// operator K1 = sqrt(γ)|0><1| fires with the state-dependent probability
+// γ·P(q=1); otherwise K0 = diag(1, sqrt(1-γ)) is applied. Either branch
+// renormalizes, as Kraus trajectory sampling requires.
+func ApplyAmplitudeDamping(st *sim.State, q int, gamma float64, rng *rand.Rand) {
+	if gamma <= 0 {
+		return
+	}
+	p1 := excitedPopulation(st, q)
+	pDecay := gamma * p1
+	if pDecay > 0 && rng.Float64() < pDecay {
+		// K1: project onto q=1, move amplitude to q=0.
+		amps := st.Amps()
+		step := 1 << uint(q)
+		for g := 0; g < len(amps); g += 2 * step {
+			for i := g; i < g+step; i++ {
+				amps[i] = amps[i+step]
+				amps[i+step] = 0
+			}
+		}
+		st.Normalize()
+		return
+	}
+	// K0: damp the |1> component and renormalize.
+	damp := complex(math.Sqrt(1-gamma), 0)
+	amps := st.Amps()
+	step := 1 << uint(q)
+	for g := step; g < len(amps); g += 2 * step {
+		for i := g; i < g+step; i++ {
+			amps[i] *= damp
+		}
+	}
+	st.Normalize()
+}
+
+// excitedPopulation returns P(qubit q = 1).
+func excitedPopulation(st *sim.State, q int) float64 {
+	amps := st.Amps()
+	step := 1 << uint(q)
+	var p float64
+	for g := step; g < len(amps); g += 2 * step {
+		for i := g; i < g+step; i++ {
+			a := amps[i]
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return p
+}
+
+// ThermalParams derives per-gate relaxation from device times, in
+// arbitrary but consistent units (IBM-typical values: T1 ≈ 100µs,
+// T2 ≈ 80µs, 1q gates ≈ 35ns, CX ≈ 300ns).
+type ThermalParams struct {
+	T1, T2     float64
+	Gate1qTime float64
+	Gate2qTime float64
+}
+
+// IBMTypicalThermal is a representative superconducting parameter set.
+var IBMTypicalThermal = ThermalParams{
+	T1: 100e-6, T2: 80e-6, Gate1qTime: 35e-9, Gate2qTime: 300e-9,
+}
+
+// Enabled reports whether the parameters describe any relaxation.
+func (t ThermalParams) Enabled() bool { return t.T1 > 0 }
+
+// Gamma returns the amplitude-damping parameter for duration dt:
+// γ = 1 - exp(-dt/T1).
+func (t ThermalParams) Gamma(dt float64) float64 {
+	if t.T1 <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-dt/t.T1)
+}
+
+// DephaseProb returns the residual pure-dephasing phase-flip probability
+// for duration dt after amplitude damping is accounted for:
+// e^{-dt/T2} = e^{-dt/(2 T1)}·(1-2 p_z). Requires T2 <= 2 T1 (physical).
+func (t ThermalParams) DephaseProb(dt float64) float64 {
+	if t.T2 <= 0 {
+		return 0
+	}
+	residual := math.Exp(-dt/t.T2 + dt/(2*t.T1))
+	p := (1 - residual) / 2
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// ApplyReadoutError transforms an ideal output distribution into the
+// distribution observed through noisy measurement in which every
+// register bit flips independently with probability flip. The transform
+// runs one O(2^w) pass per bit.
+func ApplyReadoutError(dist []float64, flip float64) []float64 {
+	out := append([]float64(nil), dist...)
+	if flip <= 0 {
+		return out
+	}
+	w := 0
+	for 1<<uint(w) < len(dist) {
+		w++
+	}
+	tmp := make([]float64, len(out))
+	for b := 0; b < w; b++ {
+		mask := 1 << uint(b)
+		for v := range out {
+			tmp[v] = (1-flip)*out[v] + flip*out[v^mask]
+		}
+		out, tmp = tmp, out
+	}
+	return out
+}

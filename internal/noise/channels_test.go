@@ -1,0 +1,218 @@
+package noise_test
+
+import (
+	"math"
+	"testing"
+
+	"qfarith/internal/arith"
+	"qfarith/internal/noise"
+	"qfarith/internal/qft"
+	"qfarith/internal/sim"
+	"qfarith/internal/testutil"
+	"qfarith/internal/transpile"
+)
+
+func TestAmplitudeDampingDrivesToGround(t *testing.T) {
+	// Repeated damping of a |1> qubit must eventually decay it to |0>,
+	// and the ensemble decay rate must match gamma.
+	rng := testutil.NewRand(31)
+	trials := 2000
+	gamma := 0.25
+	decayed := 0
+	for i := 0; i < trials; i++ {
+		st := sim.NewState(1)
+		st.SetBasis(1)
+		noise.ApplyAmplitudeDamping(st, 0, gamma, rng)
+		if st.Probability(0) > 0.5 {
+			decayed++
+		}
+	}
+	f := float64(decayed) / float64(trials)
+	if math.Abs(f-gamma) > 0.04 {
+		t.Errorf("decay frequency %g, want ≈ %g", f, gamma)
+	}
+}
+
+func TestAmplitudeDampingPreservesGroundState(t *testing.T) {
+	rng := testutil.NewRand(32)
+	st := sim.NewState(2)
+	st.SetBasis(0)
+	for i := 0; i < 50; i++ {
+		noise.ApplyAmplitudeDamping(st, 0, 0.3, rng)
+		noise.ApplyAmplitudeDamping(st, 1, 0.3, rng)
+	}
+	if p := st.Probability(0); math.Abs(p-1) > 1e-9 {
+		t.Errorf("ground state decayed: P(00) = %g", p)
+	}
+}
+
+func TestAmplitudeDampingEnsembleAverage(t *testing.T) {
+	// For the superposition (|0>+|1>)/√2, the ensemble-averaged excited
+	// population after one damping step must be (1-γ)/2.
+	rng := testutil.NewRand(33)
+	gamma := 0.4
+	trials := 4000
+	var pop float64
+	for i := 0; i < trials; i++ {
+		st := sim.NewState(1)
+		st.Amps()[0] = complex(1/math.Sqrt2, 0)
+		st.Amps()[1] = complex(1/math.Sqrt2, 0)
+		noise.ApplyAmplitudeDamping(st, 0, gamma, rng)
+		pop += st.Probability(1)
+	}
+	pop /= float64(trials)
+	want := (1 - gamma) / 2
+	if math.Abs(pop-want) > 0.02 {
+		t.Errorf("mean excited population %g, want %g", pop, want)
+	}
+}
+
+func TestThermalParams(t *testing.T) {
+	p := noise.IBMTypicalThermal
+	if !p.Enabled() {
+		t.Fatal("typical thermal params should be enabled")
+	}
+	g1 := p.Gamma(p.Gate1qTime)
+	g2 := p.Gamma(p.Gate2qTime)
+	if g1 <= 0 || g2 <= g1 {
+		t.Errorf("gamma ordering wrong: %g, %g", g1, g2)
+	}
+	// 35ns against T1=100µs: γ ≈ 3.5e-4.
+	if math.Abs(g1-3.5e-4) > 5e-5 {
+		t.Errorf("1q gamma %g, want ≈ 3.5e-4", g1)
+	}
+	if pz := p.DephaseProb(p.Gate2qTime); pz <= 0 || pz > 0.01 {
+		t.Errorf("dephase prob %g out of expected range", pz)
+	}
+	var off noise.ThermalParams
+	if off.Enabled() || off.Gamma(1e-9) != 0 || off.DephaseProb(1e-9) != 0 {
+		t.Error("zero params must disable relaxation")
+	}
+}
+
+func TestReadoutErrorTransform(t *testing.T) {
+	dist := []float64{1, 0, 0, 0} // always reads 00
+	flip := 0.1
+	out := noise.ApplyReadoutError(dist, flip)
+	// P(00) = 0.81, P(01) = P(10) = 0.09, P(11) = 0.01.
+	want := []float64{0.81, 0.09, 0.09, 0.01}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Errorf("readout[%d] = %g, want %g", i, out[i], want[i])
+		}
+	}
+	// Zero flip is the identity; distribution stays normalized.
+	same := noise.ApplyReadoutError(dist, 0)
+	for i := range dist {
+		if same[i] != dist[i] {
+			t.Error("zero flip changed the distribution")
+		}
+	}
+	var s float64
+	for _, p := range out {
+		s += p
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Errorf("readout transform denormalized: %g", s)
+	}
+}
+
+func TestBitAndPhaseFlip(t *testing.T) {
+	rng := testutil.NewRand(44)
+	st := sim.NewState(1)
+	noise.ApplyBitFlip(st, 0, 1.0, rng) // always flips
+	if st.Probability(1) < 1-1e-12 {
+		t.Error("bit flip with p=1 did not flip")
+	}
+	noise.ApplyPhaseFlip(st, 0, 1.0, rng)
+	if st.Probability(1) < 1-1e-12 {
+		t.Error("phase flip changed populations")
+	}
+	ref := st.Clone()
+	noise.ApplyBitFlip(st, 0, 0, rng)
+	noise.ApplyPhaseFlip(st, 0, 0, rng)
+	for i := range ref.Amps() {
+		if st.Amps()[i] != ref.Amps()[i] {
+			t.Error("zero-probability channels acted")
+		}
+	}
+}
+
+func TestFullEngineNoiselessLimit(t *testing.T) {
+	// With every channel off, FullEngine must reproduce the exact
+	// arithmetic result.
+	c := arith.NewQFA(3, 4, arith.DefaultConfig())
+	res := transpile.Transpile(c)
+	fe := noise.NewFullEngine(res, noise.Noiseless, noise.ThermalParams{}, 0)
+	st := sim.NewState(7)
+	initial := make([]complex128, st.Dim())
+	x, y := 5, 9
+	initial[x|y<<3] = 1
+	rng := testutil.NewRand(55)
+	dist := fe.EstimateDist(st, initial, arith.Range(3, 4), 3, rng)
+	if math.Abs(dist[(x+y)&15]-1) > 1e-9 {
+		t.Errorf("noiseless FullEngine P(correct) = %g", dist[(x+y)&15])
+	}
+}
+
+func TestFullEngineCompositeNoiseDegrades(t *testing.T) {
+	c := arith.NewQFA(3, 4, arith.Config{Depth: qft.Full, AddCut: arith.FullAdd})
+	res := transpile.Transpile(c)
+	x, y := 5, 9
+	want := (x + y) & 15
+	run := func(model noise.Model, th noise.ThermalParams, ro float64) float64 {
+		fe := noise.NewFullEngine(res, model, th, ro)
+		st := sim.NewState(7)
+		initial := make([]complex128, st.Dim())
+		initial[x|y<<3] = 1
+		rng := testutil.NewRand(66)
+		dist := fe.EstimateDist(st, initial, arith.Range(3, 4), 24, rng)
+		return dist[want]
+	}
+	clean := run(noise.Noiseless, noise.ThermalParams{}, 0)
+	slowDevice := noise.ThermalParams{T1: 5e-6, T2: 4e-6, Gate1qTime: 35e-9, Gate2qTime: 300e-9}
+	thermal := run(noise.Noiseless, slowDevice, 0)
+	readout := run(noise.Noiseless, noise.ThermalParams{}, 0.05)
+	everything := run(noise.PaperModel(0.005, 0.02), slowDevice, 0.05)
+	if thermal >= clean {
+		t.Errorf("thermal relaxation did not degrade: %g vs %g", thermal, clean)
+	}
+	if readout >= clean {
+		t.Errorf("readout error did not degrade: %g vs %g", readout, clean)
+	}
+	if everything >= thermal || everything >= readout {
+		t.Errorf("composite noise should be worst: %g vs %g/%g", everything, thermal, readout)
+	}
+}
+
+func TestCoherentErrorsDegradeDeterministically(t *testing.T) {
+	// Coherent over-rotation must produce identical trajectories (it is
+	// not sampled) and degrade the arithmetic smoothly with angle.
+	c := arith.NewQFA(3, 4, arith.DefaultConfig())
+	res := transpile.Transpile(c)
+	x, y := 5, 9
+	want := (x + y) & 15
+	run := func(eps float64) float64 {
+		fe := noise.NewFullEngine(res, noise.Noiseless, noise.ThermalParams{}, 0)
+		fe.Coherent = noise.CoherentParams{OverRotation1q: eps, OverRotation2q: eps}
+		st := sim.NewState(7)
+		initial := make([]complex128, st.Dim())
+		initial[x|y<<3] = 1
+		rng := testutil.NewRand(77)
+		dist := fe.EstimateDist(st, initial, arith.Range(3, 4), 2, rng)
+		return dist[want]
+	}
+	p0 := run(0)
+	if math.Abs(p0-1) > 1e-9 {
+		t.Fatalf("zero over-rotation should be exact: %g", p0)
+	}
+	small := run(0.01)
+	large := run(0.08)
+	if small >= 1 || large >= small {
+		t.Errorf("coherent error not monotone: 1 -> %g -> %g", small, large)
+	}
+	// Determinism: two runs agree exactly (no stochastic component).
+	if a, b := run(0.05), run(0.05); a != b {
+		t.Errorf("coherent-only runs differ: %g vs %g", a, b)
+	}
+}

@@ -1,0 +1,84 @@
+package noise
+
+import (
+	"math/rand/v2"
+
+	"qfarith/internal/gate"
+	"qfarith/internal/layout"
+	"qfarith/internal/sim"
+	"qfarith/internal/transpile"
+)
+
+// Crosstalk models the always-on ZZ coupling of fixed-frequency
+// transmons: while a CX pulse plays, every *spectator* qubit adjacent
+// (on the device coupling map) to the gate's control or target picks up
+// a small conditional phase with the gate qubit it touches. This is the
+// noise source that makes qubit layout matter beyond SWAP counts, and a
+// natural companion to the layout ablation (E7) — it only exists on a
+// device with a topology, which is exactly what the paper idealizes
+// away.
+type Crosstalk struct {
+	// Map is the device topology; spectators are its neighbors.
+	Map *layout.CouplingMap
+	// ZZPhase is the conditional phase (radians) accumulated between a
+	// CX qubit and each adjacent spectator per CX execution. Typical
+	// hardware values correspond to a few milliradians.
+	ZZPhase float64
+	// Jitter, when nonzero, adds a uniform ±Jitter stochastic component
+	// to each crosstalk phase (pulse-to-pulse variation).
+	Jitter float64
+}
+
+// Enabled reports whether crosstalk is configured.
+func (x Crosstalk) Enabled() bool {
+	return x.Map != nil && (x.ZZPhase != 0 || x.Jitter != 0)
+}
+
+// Apply imposes the crosstalk of one CX on st: a CPhase between each
+// gate qubit and each of its spectator neighbors. Deterministic unless
+// Jitter is set; rng may be nil when Jitter is zero.
+func (x Crosstalk) Apply(st *sim.State, control, target int, rng *rand.Rand) {
+	if !x.Enabled() {
+		return
+	}
+	for _, q := range [2]int{control, target} {
+		for nb := 0; nb < x.Map.NumQubits; nb++ {
+			if nb == control || nb == target || !x.Map.Connected(q, nb) {
+				continue
+			}
+			if nb >= st.NumQubits() {
+				continue
+			}
+			phase := x.ZZPhase
+			if x.Jitter != 0 {
+				phase += (2*rng.Float64() - 1) * x.Jitter
+			}
+			if phase != 0 {
+				st.CPhase(q, nb, phase)
+			}
+		}
+	}
+}
+
+// RunCrosstalkTrajectory applies one trajectory of a native circuit with
+// depolarizing noise (per model) and ZZ crosstalk on every CX. The
+// circuit's qubit indices must be *physical* (i.e. already routed onto
+// x.Map).
+func RunCrosstalkTrajectory(st *sim.State, res *transpile.Result, model Model, x Crosstalk, rng *rand.Rand) {
+	for _, op := range res.Ops {
+		st.ApplyOp(op)
+		if op.Kind == gate.CX {
+			x.Apply(st, op.Qubits[0], op.Qubits[1], rng)
+		}
+		p := model.errorProb(op.Kind)
+		if p > 0 && rng.Float64() < p {
+			if op.Kind == gate.CX {
+				pl := uint8(1 + rng.IntN(15))
+				pauli1(st, op.Qubits[0], pl>>2)
+				pauli1(st, op.Qubits[1], pl&3)
+			} else {
+				pauli1(st, op.Qubits[0], uint8(1+rng.IntN(3)))
+			}
+		}
+	}
+}

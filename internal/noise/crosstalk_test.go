@@ -1,0 +1,106 @@
+package noise_test
+
+import (
+	"math"
+	"testing"
+
+	"qfarith/internal/arith"
+	"qfarith/internal/layout"
+	"qfarith/internal/noise"
+	"qfarith/internal/sim"
+	"qfarith/internal/testutil"
+	"qfarith/internal/transpile"
+)
+
+func TestCrosstalkDisabledIsNoop(t *testing.T) {
+	var x noise.Crosstalk
+	if x.Enabled() {
+		t.Fatal("zero crosstalk should be disabled")
+	}
+	st := sim.NewState(3)
+	st.H(0)
+	ref := st.Clone()
+	x.Apply(st, 0, 1, nil)
+	for i := range ref.Amps() {
+		if st.Amps()[i] != ref.Amps()[i] {
+			t.Fatal("disabled crosstalk acted")
+		}
+	}
+}
+
+func TestCrosstalkPhasesSpectators(t *testing.T) {
+	// Chain 0-1-2-3: CX(1,2) has spectators 0 (neighbor of 1) and
+	// 3 (neighbor of 2). With all qubits in |1>, the state picks up
+	// ZZPhase from each of the two spectator pairs.
+	x := noise.Crosstalk{Map: layout.Linear(4), ZZPhase: 0.1}
+	st := sim.NewState(4)
+	st.SetBasis(0b1111)
+	x.Apply(st, 1, 2, nil)
+	got := st.Amps()[0b1111]
+	wantPhase := 2 * 0.1 // two spectator pairs
+	if math.Abs(math.Atan2(imag(got), real(got))-wantPhase) > 1e-12 {
+		t.Errorf("accumulated phase %g, want %g", math.Atan2(imag(got), real(got)), wantPhase)
+	}
+	// A spectator in |0> contributes nothing.
+	st2 := sim.NewState(4)
+	st2.SetBasis(0b0110) // spectators 0 and 3 are |0>
+	x.Apply(st2, 1, 2, nil)
+	got2 := st2.Amps()[0b0110]
+	if math.Abs(math.Atan2(imag(got2), real(got2))) > 1e-12 {
+		t.Errorf("crosstalk phased a |0> spectator: %v", got2)
+	}
+}
+
+func TestCrosstalkDegradesRoutedArithmetic(t *testing.T) {
+	// Route a small adder onto a chain and compare success with and
+	// without ZZ crosstalk (no stochastic noise, so the effect is pure
+	// coherent layout error).
+	a, w := 2, 3
+	c := arith.NewQFA(a, w, arith.DefaultConfig())
+	native := transpile.Transpile(c).Circuit()
+	cm := layout.Linear(5)
+	routed := layout.Route(native, cm, nil)
+	res := transpile.Transpile(routed.Circuit)
+
+	run := func(zz float64) float64 {
+		st := sim.NewState(5)
+		x, y := 2, 5
+		st.SetBasis(x | y<<2)
+		rng := testutil.NewRand(3)
+		noise.RunCrosstalkTrajectory(st, res, noise.Noiseless,
+			noise.Crosstalk{Map: cm, ZZPhase: zz}, rng)
+		// Read the sum at its routed position.
+		probs := st.RegisterProbs([]int{
+			routed.FinalLayout[2], routed.FinalLayout[3], routed.FinalLayout[4],
+		})
+		return probs[(x+y)&7]
+	}
+	clean := run(0)
+	if math.Abs(clean-1) > 1e-9 {
+		t.Fatalf("zero-crosstalk routed adder broken: %g", clean)
+	}
+	mild := run(0.02)
+	heavy := run(0.2)
+	if mild >= 1 || heavy >= mild {
+		t.Errorf("crosstalk not degrading monotonically: 1 -> %g -> %g", mild, heavy)
+	}
+}
+
+func TestCrosstalkJitterIsStochastic(t *testing.T) {
+	cm := layout.Linear(3)
+	x := noise.Crosstalk{Map: cm, Jitter: 0.3}
+	if !x.Enabled() {
+		t.Fatal("jitter-only crosstalk should be enabled")
+	}
+	outcomes := map[complex128]bool{}
+	for trial := 0; trial < 4; trial++ {
+		st := sim.NewState(3)
+		st.SetBasis(0b111)
+		rng := testutil.NewRand(uint64(trial))
+		x.Apply(st, 0, 1, rng)
+		outcomes[st.Amps()[0b111]] = true
+	}
+	if len(outcomes) < 2 {
+		t.Error("jitter produced identical phases across seeds")
+	}
+}

@@ -1,0 +1,57 @@
+package noise
+
+// Readout-error mitigation in the calibration-matrix style of
+// Leymann & Barzen (the paper's Ref. [5]) — the "impact of error
+// mitigation" item the paper defers to future work. For the symmetric
+// per-bit flip model used by ApplyReadoutError the full 2^w x 2^w
+// calibration matrix factorizes into a tensor power of the 2x2 bit
+// matrix M = [[1-p, p], [p, 1-p]], whose inverse is again a tensor
+// power, so mitigation runs in O(w·2^w) instead of O(4^w).
+
+// MitigateReadout applies the inverse calibration transform for a known
+// per-bit flip probability to an observed distribution. The raw inverse
+// can produce small negative entries (it is not a stochastic matrix);
+// they are clipped and the result renormalized, the standard practical
+// recipe.
+func MitigateReadout(observed []float64, flip float64) []float64 {
+	out := append([]float64(nil), observed...)
+	if flip <= 0 {
+		return out
+	}
+	if flip >= 0.5 {
+		// The bit channel is non-invertible at 0.5 and label-swapped
+		// beyond; refuse rather than amplify noise unboundedly.
+		panic("noise: readout flip probability must be < 0.5 to mitigate")
+	}
+	w := 0
+	for 1<<uint(w) < len(observed) {
+		w++
+	}
+	// Inverse of [[1-p, p], [p, 1-p]] is 1/(1-2p) · [[1-p, -p], [-p, 1-p]].
+	inv := 1 / (1 - 2*flip)
+	a := (1 - flip) * inv
+	b := -flip * inv
+	tmp := make([]float64, len(out))
+	for bit := 0; bit < w; bit++ {
+		mask := 1 << uint(bit)
+		for v := range out {
+			tmp[v] = a*out[v] + b*out[v^mask]
+		}
+		out, tmp = tmp, out
+	}
+	// Clip and renormalize.
+	var total float64
+	for i, p := range out {
+		if p < 0 {
+			out[i] = 0
+		} else {
+			total += p
+		}
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
+}

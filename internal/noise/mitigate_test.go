@@ -1,0 +1,108 @@
+package noise_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qfarith/internal/noise"
+)
+
+func TestMitigateInvertsReadout(t *testing.T) {
+	ideal := []float64{0.7, 0, 0.1, 0.2, 0, 0, 0, 0}
+	for _, flip := range []float64{0.01, 0.05, 0.2} {
+		observed := noise.ApplyReadoutError(ideal, flip)
+		recovered := noise.MitigateReadout(observed, flip)
+		for i := range ideal {
+			if d := math.Abs(recovered[i] - ideal[i]); d > 1e-9 {
+				t.Errorf("flip=%g bin %d: recovered %g, want %g", flip, i, recovered[i], ideal[i])
+			}
+		}
+	}
+}
+
+func TestMitigateZeroFlipIsIdentity(t *testing.T) {
+	d := []float64{0.25, 0.75}
+	out := noise.MitigateReadout(d, 0)
+	if out[0] != 0.25 || out[1] != 0.75 {
+		t.Errorf("zero flip changed distribution: %v", out)
+	}
+}
+
+func TestMitigateClipsNegatives(t *testing.T) {
+	// A distribution inconsistent with the model (e.g. statistical
+	// fluctuation) can invert to negative entries; the result must stay
+	// a valid distribution.
+	observed := []float64{0.02, 0.98}
+	out := noise.MitigateReadout(observed, 0.3)
+	var sum float64
+	for _, p := range out {
+		if p < 0 {
+			t.Errorf("negative probability %g survived", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("mitigated distribution sums to %g", sum)
+	}
+}
+
+func TestMitigatePanicsAtHalf(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic at flip = 0.5")
+		}
+	}()
+	noise.MitigateReadout([]float64{0.5, 0.5}, 0.5)
+}
+
+func TestMitigateRoundTripProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		// Random 16-bin distribution, random flip < 0.25.
+		s := seed
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(s>>11) / float64(1<<53)
+		}
+		ideal := make([]float64, 16)
+		var tot float64
+		for i := range ideal {
+			ideal[i] = next()
+			tot += ideal[i]
+		}
+		for i := range ideal {
+			ideal[i] /= tot
+		}
+		flip := 0.25 * next()
+		recovered := noise.MitigateReadout(noise.ApplyReadoutError(ideal, flip), flip)
+		for i := range ideal {
+			if math.Abs(recovered[i]-ideal[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMitigationRecoversSuccessMetric demonstrates the end-to-end value:
+// readout noise that flips the paper's success metric is repaired by
+// mitigation.
+func TestMitigationRecoversSuccessMetric(t *testing.T) {
+	// Ideal: two correct outputs at 0.5/0.5 over 16 bins.
+	ideal := make([]float64, 16)
+	ideal[3] = 0.5
+	ideal[9] = 0.5
+	flip := 0.15
+	observed := noise.ApplyReadoutError(ideal, flip)
+	mitigated := noise.MitigateReadout(observed, flip)
+	// Observed leaks notable mass to neighbors; mitigated restores it.
+	if observed[3] > 0.35 {
+		t.Fatalf("test premise broken: observed[3] = %g", observed[3])
+	}
+	if mitigated[3] < 0.49 || mitigated[9] < 0.49 {
+		t.Errorf("mitigation failed to restore mass: %g, %g", mitigated[3], mitigated[9])
+	}
+}

@@ -1,0 +1,122 @@
+package noise
+
+import (
+	"math/rand/v2"
+
+	"qfarith/internal/gate"
+	"qfarith/internal/sim"
+)
+
+// pauli1 applies the 1q Pauli encoded 1..3 (X, Y, Z) to qubit q.
+func pauli1(st *sim.State, q int, p uint8) {
+	switch p {
+	case 1:
+		st.X(q)
+	case 2:
+		st.Y(q)
+	case 3:
+		st.Z(q)
+	}
+}
+
+// applyEvent applies the Pauli insertion ev after native op ev.PhysIdx.
+func (e *Engine) applyEvent(st *sim.State, ev Event) {
+	op := e.Res.Ops[ev.PhysIdx]
+	if op.Kind == gate.CX {
+		pc := ev.Pauli >> 2
+		pt := ev.Pauli & 3
+		pauli1(st, op.Qubits[0], pc)
+		pauli1(st, op.Qubits[1], pt)
+		return
+	}
+	pauli1(st, op.Qubits[0], ev.Pauli)
+}
+
+// RunTrajectory applies the circuit to st with the given Pauli
+// insertions (sorted by PhysIdx). Logical source ops whose native span
+// contains no event are applied through their fast simulator kernel; a
+// span containing events is expanded into its native gates with the
+// Paulis inserted at the exact physical positions, so the trajectory is
+// bit-exact with a fully native simulation (up to global phase).
+func (e *Engine) RunTrajectory(st *sim.State, events []Event) {
+	res := e.Res
+	ei := 0
+	for si, span := range res.Spans {
+		if ei >= len(events) || events[ei].PhysIdx >= span.End {
+			// No event inside this span: logical fast path.
+			st.ApplyOp(res.Source[si])
+			continue
+		}
+		for pi := span.Start; pi < span.End; pi++ {
+			st.ApplyOp(res.Ops[pi])
+			for ei < len(events) && events[ei].PhysIdx == pi {
+				e.applyEvent(st, events[ei])
+				ei++
+			}
+		}
+	}
+	// Events beyond the last span would indicate corrupted input.
+	if ei != len(events) {
+		panic("noise: trajectory events out of range")
+	}
+}
+
+// MixtureOpts configures MixtureInto.
+type MixtureOpts struct {
+	// Trajectories is the number of conditional (≥1 error) trajectories
+	// averaged to estimate the noisy component of the output mixture.
+	Trajectories int
+	// Measure lists the qubits (LSB first) whose marginal distribution is
+	// returned.
+	Measure []int
+	// IdealOut, when non-nil, receives the error-free distribution that
+	// MixtureInto computes for the w0 stratum (same length as out) —
+	// callers use it for fidelity diagnostics without a second pass.
+	IdealOut []float64
+}
+
+// MixtureInto estimates the measurement distribution of the noisy
+// circuit on the given initial amplitudes:
+//
+//	P ≈ w0 · P_ideal + (1-w0) · mean_K( P_trajectory | ≥1 error )
+//
+// The no-error stratum is exact; only the conditional remainder is Monte
+// Carlo, and with Trajectories → ∞ the estimate converges to the true
+// channel output. Setting Trajectories equal to the shot count
+// reproduces the paper's per-shot noise semantics exactly in
+// distribution. st is caller-managed scratch space (overwritten);
+// initial holds the prepared input amplitudes; out must have length
+// 2^len(opts.Measure).
+func (e *Engine) MixtureInto(out []float64, st *sim.State, initial []complex128, opts MixtureOpts, rng *rand.Rand) {
+	if len(out) != 1<<uint(len(opts.Measure)) {
+		panic("noise: output buffer size mismatch")
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	// Ideal (error-free) stratum.
+	st.SetAmplitudes(initial)
+	for _, op := range e.Res.Source {
+		st.ApplyOp(op)
+	}
+	ideal := st.RegisterProbs(opts.Measure)
+	if opts.IdealOut != nil {
+		copy(opts.IdealOut, ideal)
+	}
+	if e.w0 >= 1 {
+		copy(out, ideal)
+		return
+	}
+	sim.MixInto(out, ideal, e.w0)
+	k := opts.Trajectories
+	if k < 1 {
+		k = 1
+	}
+	wt := (1 - e.w0) / float64(k)
+	for t := 0; t < k; t++ {
+		events := e.SampleConditional(rng)
+		st.SetAmplitudes(initial)
+		e.RunTrajectory(st, events)
+		sim.MixInto(out, st.RegisterProbs(opts.Measure), wt)
+	}
+}

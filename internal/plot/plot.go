@@ -1,0 +1,114 @@
+// Package plot renders small ASCII line/scatter charts for terminal
+// output and the experiment reports — enough to eyeball the paper's
+// success-rate-vs-error-rate panels without leaving the shell.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Label  string
+	X, Y   []float64
+	Marker rune
+}
+
+// Chart collects series and axis configuration.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns (default 60)
+	Height int // plot rows (default 16)
+	YMin   *float64
+	YMax   *float64
+	series []Series
+}
+
+// DefaultMarkers cycles across series without explicit markers.
+var DefaultMarkers = []rune{'o', '*', '+', 'x', '#', '@', '%'}
+
+// Add appends a series; X and Y must have equal lengths.
+func (c *Chart) Add(s Series) {
+	if len(s.X) != len(s.Y) {
+		panic(fmt.Sprintf("plot: series %q has %d x vs %d y", s.Label, len(s.X), len(s.Y)))
+	}
+	if s.Marker == 0 {
+		s.Marker = DefaultMarkers[len(c.series)%len(DefaultMarkers)]
+	}
+	c.series = append(c.series, s)
+}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		return "(empty chart)\n"
+	}
+	if c.YMin != nil {
+		ymin = *c.YMin
+	}
+	if c.YMax != nil {
+		ymax = *c.YMax
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", w))
+	}
+	for _, s := range c.series {
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(w-1)))
+			row := int(math.Round((ymax - s.Y[i]) / (ymax - ymin) * float64(h-1)))
+			if col < 0 || col >= w || row < 0 || row >= h {
+				continue
+			}
+			grid[row][col] = s.Marker
+		}
+	}
+
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	for r, row := range grid {
+		yVal := ymax - (ymax-ymin)*float64(r)/float64(h-1)
+		fmt.Fprintf(&sb, "%8.2f |%s|\n", yVal, string(row))
+	}
+	fmt.Fprintf(&sb, "%8s +%s+\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&sb, "%8s  %-*.3g%*.3g\n", "", w/2, xmin, w-w/2, xmax)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&sb, "%8s  x: %s   y: %s\n", "", c.XLabel, c.YLabel)
+	}
+	for _, s := range c.series {
+		fmt.Fprintf(&sb, "%8s  %c %s\n", "", s.Marker, s.Label)
+	}
+	return sb.String()
+}

@@ -1,0 +1,68 @@
+package plot_test
+
+import (
+	"strings"
+	"testing"
+
+	"qfarith/internal/plot"
+)
+
+func TestRenderBasics(t *testing.T) {
+	var c plot.Chart
+	c.Title = "success vs rate"
+	c.XLabel = "rate%"
+	c.YLabel = "success%"
+	c.Add(plot.Series{Label: "d=1", X: []float64{0, 1, 2}, Y: []float64{100, 80, 40}})
+	c.Add(plot.Series{Label: "full", X: []float64{0, 1, 2}, Y: []float64{100, 90, 20}})
+	out := c.Render()
+	for _, want := range []string{"success vs rate", "d=1", "full", "x: rate%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "*") {
+		t.Error("default markers not used")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var c plot.Chart
+	if out := c.Render(); !strings.Contains(out, "empty") {
+		t.Errorf("empty chart rendered %q", out)
+	}
+}
+
+func TestRenderFixedScale(t *testing.T) {
+	lo, hi := 0.0, 100.0
+	c := plot.Chart{YMin: &lo, YMax: &hi, Height: 5, Width: 20}
+	c.Add(plot.Series{Label: "s", X: []float64{0, 1}, Y: []float64{50, 50}})
+	out := c.Render()
+	if !strings.Contains(out, "100.00") || !strings.Contains(out, "0.00") {
+		t.Errorf("fixed scale not honored:\n%s", out)
+	}
+}
+
+func TestMarkerPlacementCorners(t *testing.T) {
+	c := plot.Chart{Width: 11, Height: 5}
+	c.Add(plot.Series{Label: "pt", X: []float64{0, 10}, Y: []float64{0, 100}, Marker: '#'})
+	out := c.Render()
+	lines := strings.Split(out, "\n")
+	// Row 0 (ymax) must contain the right-edge marker; the last grid row
+	// the left-edge marker.
+	if !strings.Contains(lines[0], "#|") {
+		t.Errorf("top-right marker missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[4], "|#") {
+		t.Errorf("bottom-left marker missing: %q", lines[4])
+	}
+}
+
+func TestMismatchedSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched series")
+		}
+	}()
+	var c plot.Chart
+	c.Add(plot.Series{Label: "bad", X: []float64{1}, Y: []float64{1, 2}})
+}

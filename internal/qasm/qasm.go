@@ -1,0 +1,297 @@
+// Package qasm serializes circuits to OpenQASM 2.0 and parses the
+// dialect it emits, so circuits built here can be inspected, diffed, or
+// executed on other toolchains (including the Qiskit stack the paper
+// used), and circuits produced elsewhere can be replayed through this
+// simulator.
+package qasm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"qfarith/internal/circuit"
+	"qfarith/internal/gate"
+)
+
+// Export renders c as an OpenQASM 2.0 program on register q[n]. All gate
+// kinds in the library's set are expressible: the nonstandard ones (ccp,
+// cch) are emitted as gate definitions at the top of the program.
+func Export(c *circuit.Circuit) string {
+	var sb strings.Builder
+	sb.WriteString("OPENQASM 2.0;\n")
+	sb.WriteString("include \"qelib1.inc\";\n")
+	// qelib1 lacks ccp/cch/sxdg-free forms; define what we use.
+	counts := c.Counts()
+	if counts[gate.CCP] > 0 {
+		sb.WriteString("gate ccp(theta) a,b,c { cp(theta/2) b,c; cx a,b; cp(-theta/2) b,c; cx a,b; cp(theta/2) a,c; }\n")
+	}
+	if counts[gate.CCH] > 0 {
+		sb.WriteString("gate cch a,b,c { s c; h c; t c; ccx a,b,c; tdg c; h c; sdg c; }\n")
+	}
+	fmt.Fprintf(&sb, "qreg q[%d];\n", c.NumQubits)
+	for _, op := range c.Ops {
+		sb.WriteString(formatOp(op))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func formatOp(op circuit.Op) string {
+	name := op.Kind.Name()
+	var sb strings.Builder
+	sb.WriteString(name)
+	if op.Kind.Parameterized() {
+		fmt.Fprintf(&sb, "(%s)", formatAngle(op.Theta))
+	}
+	sb.WriteByte(' ')
+	for i, q := range op.Active() {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "q[%d]", q)
+	}
+	sb.WriteByte(';')
+	return sb.String()
+}
+
+// formatAngle renders common multiples of pi symbolically for
+// readability and round-trip fidelity, falling back to full-precision
+// decimals.
+func formatAngle(theta float64) string {
+	if theta == 0 {
+		return "0"
+	}
+	ratio := theta / math.Pi
+	for _, den := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512} {
+		scaled := ratio * float64(den)
+		if rounded := math.Round(scaled); math.Abs(scaled-rounded) < 1e-12 && rounded != 0 {
+			num := int(rounded)
+			switch {
+			case num == 1 && den == 1:
+				return "pi"
+			case num == -1 && den == 1:
+				return "-pi"
+			case den == 1:
+				return fmt.Sprintf("%d*pi", num)
+			case num == 1:
+				return fmt.Sprintf("pi/%d", den)
+			case num == -1:
+				return fmt.Sprintf("-pi/%d", den)
+			default:
+				return fmt.Sprintf("%d*pi/%d", num, den)
+			}
+		}
+	}
+	return strconv.FormatFloat(theta, 'g', 17, 64)
+}
+
+// ExportWithMeasurement renders c as a complete, directly runnable
+// OpenQASM 2.0 program: the circuit followed by a classical register and
+// measurement of the given qubits (creg bit i reads measure[i]).
+func ExportWithMeasurement(c *circuit.Circuit, measure []int) string {
+	var sb strings.Builder
+	sb.WriteString(Export(c))
+	fmt.Fprintf(&sb, "creg m[%d];\n", len(measure))
+	for i, q := range measure {
+		fmt.Fprintf(&sb, "measure q[%d] -> m[%d];\n", q, i)
+	}
+	return sb.String()
+}
+
+// Parse reads an OpenQASM 2.0 program in the dialect Export produces
+// (single quantum register, gates from this library's set, optional
+// gate-definition lines which are recognized and skipped since the
+// library knows their semantics). Classical registers, measurement,
+// conditionals and custom gates beyond ccp/cch are rejected.
+func Parse(r io.Reader) (*circuit.Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var c *circuit.Circuit
+	regName := ""
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "OPENQASM"):
+			continue
+		case strings.HasPrefix(line, "include"):
+			continue
+		case strings.HasPrefix(line, "gate "):
+			continue // definitions for ccp/cch; semantics are built in
+		case strings.HasPrefix(line, "qreg"):
+			name, size, err := parseQreg(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if c != nil {
+				return nil, fmt.Errorf("line %d: multiple qreg declarations", lineNo)
+			}
+			c = circuit.New(size)
+			regName = name
+		case strings.HasPrefix(line, "creg") || strings.HasPrefix(line, "measure") ||
+			strings.HasPrefix(line, "barrier") || strings.HasPrefix(line, "if"):
+			return nil, fmt.Errorf("line %d: unsupported statement %q", lineNo, line)
+		default:
+			if c == nil {
+				return nil, fmt.Errorf("line %d: gate before qreg", lineNo)
+			}
+			op, err := parseOp(line, regName, c.NumQubits)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			c.AppendOp(op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return nil, fmt.Errorf("qasm: no qreg declaration found")
+	}
+	return c, nil
+}
+
+// ParseString is Parse on a string.
+func ParseString(s string) (*circuit.Circuit, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func parseQreg(line string) (string, int, error) {
+	rest := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(line, "qreg")), ";")
+	open := strings.Index(rest, "[")
+	closeIdx := strings.Index(rest, "]")
+	if open < 0 || closeIdx < open {
+		return "", 0, fmt.Errorf("malformed qreg %q", line)
+	}
+	name := strings.TrimSpace(rest[:open])
+	size, err := strconv.Atoi(rest[open+1 : closeIdx])
+	if err != nil || size <= 0 {
+		return "", 0, fmt.Errorf("bad register size in %q", line)
+	}
+	return name, size, nil
+}
+
+var kindByName = map[string]gate.Kind{
+	"id": gate.I, "x": gate.X, "y": gate.Y, "z": gate.Z, "h": gate.H,
+	"s": gate.S, "sdg": gate.Sdg, "t": gate.T, "tdg": gate.Tdg,
+	"sx": gate.SX, "sxdg": gate.SXdg, "rx": gate.RX, "ry": gate.RY,
+	"rz": gate.RZ, "p": gate.P, "u1": gate.P,
+	"cx": gate.CX, "cz": gate.CZ, "cp": gate.CP, "cu1": gate.CP,
+	"ch": gate.CH, "cry": gate.CRY, "swap": gate.SWAP,
+	"ccx": gate.CCX, "ccp": gate.CCP, "cch": gate.CCH,
+}
+
+func parseOp(line, regName string, numQubits int) (circuit.Op, error) {
+	line = strings.TrimSuffix(strings.TrimSpace(line), ";")
+	// Split "name(args) operands" or "name operands".
+	var name, argStr, operandStr string
+	if open := strings.Index(line, "("); open >= 0 {
+		closeIdx := strings.Index(line, ")")
+		if closeIdx < open {
+			return circuit.Op{}, fmt.Errorf("unbalanced parens in %q", line)
+		}
+		name = strings.TrimSpace(line[:open])
+		argStr = line[open+1 : closeIdx]
+		operandStr = strings.TrimSpace(line[closeIdx+1:])
+	} else {
+		fields := strings.SplitN(line, " ", 2)
+		if len(fields) != 2 {
+			return circuit.Op{}, fmt.Errorf("malformed gate line %q", line)
+		}
+		name, operandStr = fields[0], strings.TrimSpace(fields[1])
+	}
+	kind, ok := kindByName[name]
+	if !ok {
+		return circuit.Op{}, fmt.Errorf("unknown gate %q", name)
+	}
+	theta := 0.0
+	if kind.Parameterized() {
+		if argStr == "" {
+			return circuit.Op{}, fmt.Errorf("gate %s needs an angle", name)
+		}
+		v, err := parseAngle(argStr)
+		if err != nil {
+			return circuit.Op{}, err
+		}
+		theta = v
+	}
+	var qubits []int
+	for _, tok := range strings.Split(operandStr, ",") {
+		tok = strings.TrimSpace(tok)
+		open := strings.Index(tok, "[")
+		closeIdx := strings.Index(tok, "]")
+		if open < 0 || closeIdx < open {
+			return circuit.Op{}, fmt.Errorf("malformed operand %q", tok)
+		}
+		if got := strings.TrimSpace(tok[:open]); got != regName {
+			return circuit.Op{}, fmt.Errorf("unknown register %q", got)
+		}
+		q, err := strconv.Atoi(tok[open+1 : closeIdx])
+		if err != nil || q < 0 || q >= numQubits {
+			return circuit.Op{}, fmt.Errorf("bad qubit index %q", tok)
+		}
+		qubits = append(qubits, q)
+	}
+	if len(qubits) != kind.Arity() {
+		return circuit.Op{}, fmt.Errorf("gate %s expects %d operands, got %d", name, kind.Arity(), len(qubits))
+	}
+	return circuit.NewOp(kind, theta, qubits...), nil
+}
+
+// parseAngle evaluates the angle grammar Export emits: optional sign,
+// [int*]pi[/int], or a plain float.
+func parseAngle(s string) (float64, error) {
+	s = strings.ReplaceAll(strings.TrimSpace(s), " ", "")
+	if s == "" {
+		return 0, fmt.Errorf("empty angle")
+	}
+	sign := 1.0
+	if s[0] == '-' {
+		sign = -1
+		s = s[1:]
+	} else if s[0] == '+' {
+		s = s[1:]
+	}
+	if !strings.Contains(s, "pi") {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad angle %q", s)
+		}
+		return sign * v, nil
+	}
+	num, den := 1.0, 1.0
+	rest := s
+	if i := strings.Index(rest, "*pi"); i >= 0 {
+		v, err := strconv.ParseFloat(rest[:i], 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad angle numerator in %q", s)
+		}
+		num = v
+		rest = rest[i+3:]
+	} else if strings.HasPrefix(rest, "pi") {
+		rest = rest[2:]
+	} else {
+		return 0, fmt.Errorf("bad angle %q", s)
+	}
+	if strings.HasPrefix(rest, "/") {
+		v, err := strconv.ParseFloat(rest[1:], 64)
+		if err != nil || v == 0 {
+			return 0, fmt.Errorf("bad angle denominator in %q", s)
+		}
+		den = v
+	} else if rest != "" {
+		return 0, fmt.Errorf("trailing characters in angle %q", s)
+	}
+	return sign * num * math.Pi / den, nil
+}

@@ -1,0 +1,111 @@
+// Package qft builds Quantum Fourier Transform circuits, including the
+// approximate QFT (AQFT) with the paper's per-qubit rotation-depth cutoff
+// and controlled variants used by Fourier multiplication.
+//
+// Convention (paper Fig. 1 / Eq. 3): the register slice lists qubits from
+// least significant (y_1) to most significant (y_n). The transform is the
+// "QFT without final swaps" used by Draper arithmetic: after the
+// transform, the wire that held y_q carries the phase qubit
+// |0> + exp(2πi · 0.y_q y_{q-1} … y_1) |1> (approximated to depth d).
+package qft
+
+import (
+	"math"
+
+	"qfarith/internal/circuit"
+	"qfarith/internal/gate"
+)
+
+// Full requests the untruncated QFT (no rotation cutoff). Any depth
+// d >= len(register)-1 is equivalent.
+const Full = math.MaxInt32
+
+// EffectiveDepth clamps a requested approximation depth to the range
+// meaningful for a w-qubit register: the deepest rotation on any qubit of
+// a w-qubit QFT is R_w, i.e. depth w-1.
+func EffectiveDepth(d, w int) int {
+	if d >= w-1 {
+		return w - 1
+	}
+	return d
+}
+
+// IsFull reports whether depth d leaves a w-qubit QFT untruncated.
+func IsFull(d, w int) bool { return d >= w-1 }
+
+// Gates appends the AQFT at depth d on the given register (LSB first) to
+// c. Depth d keeps, on every qubit, the Hadamard plus at most d
+// controlled rotations R_2 … R_{d+1}; pass Full for the exact QFT.
+func Gates(c *circuit.Circuit, reg []int, d int) {
+	if d < 1 {
+		panic("qft: depth must be >= 1 (depth 0 would drop all rotations and the transform degenerates to Hadamards only; the paper's minimum is d=1)")
+	}
+	w := len(reg)
+	// Process the most significant qubit first, as in Fig. 1.
+	for q := w - 1; q >= 0; q-- {
+		c.Append(gate.H, 0, reg[q])
+		// Rotation R_l on reg[q], controlled by reg[q-(l-1)], for
+		// l = 2 .. min(q+1, d+1).
+		lmax := q + 1
+		if d+1 < lmax {
+			lmax = d + 1
+		}
+		for l := 2; l <= lmax; l++ {
+			c.Append(gate.CP, gate.RTheta(l), reg[q-(l-1)], reg[q])
+		}
+	}
+}
+
+// New returns an n-qubit AQFT circuit at depth d on qubits 0..n-1.
+func New(n, d int) *circuit.Circuit {
+	c := circuit.New(n)
+	reg := make([]int, n)
+	for i := range reg {
+		reg[i] = i
+	}
+	Gates(c, reg, d)
+	return c
+}
+
+// NewInverse returns the inverse AQFT circuit at depth d on qubits 0..n-1.
+func NewInverse(n, d int) *circuit.Circuit {
+	return New(n, d).Inverse()
+}
+
+// InverseGates appends the inverse AQFT at depth d on reg to c.
+func InverseGates(c *circuit.Circuit, reg []int, d int) {
+	tmp := circuit.New(c.NumQubits)
+	Gates(tmp, reg, d)
+	c.Compose(tmp.Inverse())
+}
+
+// ControlledGates appends the controlled AQFT (cQFT): the AQFT on reg
+// with every gate additionally controlled by qubit ctrl (H becomes CH,
+// CP becomes CCP), as required by the QFM construction.
+func ControlledGates(c *circuit.Circuit, ctrl int, reg []int, d int) {
+	tmp := circuit.New(c.NumQubits)
+	Gates(tmp, reg, d)
+	c.Compose(tmp.Controlled(ctrl))
+}
+
+// ControlledInverseGates appends the inverse cQFT.
+func ControlledInverseGates(c *circuit.Circuit, ctrl int, reg []int, d int) {
+	tmp := circuit.New(c.NumQubits)
+	Gates(tmp, reg, d)
+	c.Compose(tmp.Inverse().Controlled(ctrl))
+}
+
+// RotationCount returns the number of controlled rotations in a w-qubit
+// AQFT at depth d: sum over qubits of min(#available, d). This is the
+// closed form C_w(d) = Σ_{k=0}^{w-1} min(k, d) used to validate Table I.
+func RotationCount(w, d int) int {
+	total := 0
+	for k := 0; k < w; k++ {
+		if k < d {
+			total += k
+		} else {
+			total += d
+		}
+	}
+	return total
+}

@@ -1,0 +1,155 @@
+package qint
+
+import (
+	"math"
+	"math/cmplx"
+
+	"qfarith/internal/circuit"
+	"qfarith/internal/gate"
+)
+
+// Prepare synthesizes a gate-based state-preparation circuit for q on
+// qubits 0..Width-1 (qubit 0 = least significant bit), taking |0...0>
+// to the qinteger's state up to global phase. The construction is the
+// Möttönen multiplexed-rotation scheme (the reverse-decomposition family
+// the paper cites via Shende et al.): a binary tree of multiplexed RY
+// rotations fixes every magnitude, then a recursive multiplexed-RZ
+// diagonal fixes every relative phase. Only RY, RZ and CX are emitted.
+func Prepare(q QInt) *circuit.Circuit {
+	c := circuit.New(q.Width)
+	reg := make([]int, q.Width)
+	for i := range reg {
+		reg[i] = i
+	}
+	PrepareOn(c, reg, q)
+	return c
+}
+
+// PrepareOn appends the preparation circuit for q to c on the given
+// register (LSB first).
+func PrepareOn(c *circuit.Circuit, reg []int, q QInt) {
+	if len(reg) != q.Width {
+		panic("qint: register width mismatch")
+	}
+	n := q.Width
+	amps := q.Amplitudes()
+
+	// Magnitude tree: process qubits from most significant to least.
+	// After step j the register's top j+1 qubits hold the marginal
+	// magnitude distribution of the target state's top j+1 bits.
+	for j := 0; j < n; j++ {
+		t := n - 1 - j // target qubit (bit position)
+		numPatterns := 1 << uint(j)
+		angles := make([]float64, numPatterns)
+		for p := 0; p < numPatterns; p++ {
+			// p's bit (j-1-i) corresponds to qubit n-1-i; build the
+			// common prefix mask for amplitudes.
+			n0 := subtreeNorm(amps, n, p<<1|0, j+1)
+			n1 := subtreeNorm(amps, n, p<<1|1, j+1)
+			angles[p] = 2 * math.Atan2(n1, n0)
+		}
+		ctrls := make([]int, j)
+		for i := 0; i < j; i++ {
+			ctrls[i] = reg[n-1-i] // pattern MSB first
+		}
+		multiplexRotation(c, gate.RY, angles, ctrls, reg[t])
+	}
+
+	// Phase diagonal: set arg(a_i) for every nonzero amplitude.
+	phases := make([]float64, len(amps))
+	any := false
+	for i, a := range amps {
+		if a != 0 {
+			phases[i] = cmplx.Phase(a)
+			if math.Abs(phases[i]) > 1e-15 {
+				any = true
+			}
+		}
+	}
+	if any {
+		applyDiagonal(c, reg, phases)
+	}
+}
+
+// subtreeNorm returns the 2-norm of the amplitudes whose top `bits` bits
+// equal prefix.
+func subtreeNorm(amps []complex128, n, prefix, bits int) float64 {
+	width := n - bits
+	base := prefix << uint(width)
+	var s float64
+	for i := 0; i < 1<<uint(width); i++ {
+		a := amps[base|i]
+		s += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(s)
+}
+
+// multiplexRotation emits a uniformly-controlled rotation: rot(angles[p])
+// on target t when the control qubits (ctrls[0] = pattern MSB) spell
+// pattern p. The recursion halves the pattern space per control,
+// conjugating by CX so each branch sees the right angle; RY and RZ both
+// flip sign under X conjugation, which is what makes the scheme work.
+func multiplexRotation(c *circuit.Circuit, kind gate.Kind, angles []float64, ctrls []int, t int) {
+	if kind != gate.RY && kind != gate.RZ {
+		panic("qint: multiplexRotation supports RY and RZ only")
+	}
+	if len(angles) != 1<<uint(len(ctrls)) {
+		panic("qint: angle count must be 2^controls")
+	}
+	if len(ctrls) == 0 {
+		if math.Abs(angles[0]) > 1e-15 {
+			c.Append(kind, angles[0], t)
+		}
+		return
+	}
+	half := len(angles) / 2
+	a0, a1 := angles[:half], angles[half:]
+	plus := make([]float64, half)
+	minus := make([]float64, half)
+	allZero := true
+	for i := range plus {
+		plus[i] = (a0[i] + a1[i]) / 2
+		minus[i] = (a0[i] - a1[i]) / 2
+		if math.Abs(minus[i]) > 1e-15 {
+			allZero = false
+		}
+	}
+	multiplexRotation(c, kind, plus, ctrls[1:], t)
+	if allZero {
+		// The two halves agree: no controlled correction needed.
+		return
+	}
+	c.Append(gate.CX, 0, ctrls[0], t)
+	multiplexRotation(c, kind, minus, ctrls[1:], t)
+	c.Append(gate.CX, 0, ctrls[0], t)
+}
+
+// applyDiagonal emits a circuit realizing diag(e^{i phases[v]}) on reg up
+// to global phase, via one multiplexed RZ per qubit (recursing on the
+// averaged phases of each sibling pair).
+func applyDiagonal(c *circuit.Circuit, reg []int, phases []float64) {
+	n := len(reg)
+	if n == 0 {
+		return
+	}
+	if 1<<uint(n) != len(phases) {
+		panic("qint: diagonal size mismatch")
+	}
+	// Relative phase between bit0=1 and bit0=0 for each prefix pattern
+	// of the higher qubits.
+	half := len(phases) / 2
+	delta := make([]float64, half)
+	next := make([]float64, half)
+	for p := 0; p < half; p++ {
+		f0 := phases[p<<1]
+		f1 := phases[p<<1|1]
+		delta[p] = f1 - f0
+		next[p] = (f0 + f1) / 2
+	}
+	ctrls := make([]int, n-1)
+	for i := 0; i < n-1; i++ {
+		ctrls[i] = reg[n-1-i] // pattern MSB = highest qubit
+	}
+	multiplexRotation(c, gate.RZ, delta, ctrls, reg[0])
+	applyDiagonal(c, reg[1:], next)
+}

@@ -1,0 +1,174 @@
+package qint_test
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"qfarith/internal/circuit"
+	"qfarith/internal/mat"
+	"qfarith/internal/qint"
+	"qfarith/internal/sim"
+	"qfarith/internal/testutil"
+)
+
+func TestNewUniformNormalization(t *testing.T) {
+	q := qint.NewUniform(4, 3, 9, 12)
+	if q.Order() != 3 {
+		t.Fatalf("order = %d, want 3", q.Order())
+	}
+	for _, v := range []int{3, 9, 12} {
+		if p := q.Probability(v); math.Abs(p-1.0/3) > 1e-12 {
+			t.Errorf("P(%d) = %g, want 1/3", v, p)
+		}
+	}
+	if p := q.Probability(5); p != 0 {
+		t.Errorf("P(5) = %g, want 0", p)
+	}
+}
+
+func TestAmplitudesRoundTrip(t *testing.T) {
+	q := qint.New(3, []qint.Term{{Value: 1, Amp: 1}, {Value: 6, Amp: 1i}})
+	a := q.Amplitudes()
+	if len(a) != 8 {
+		t.Fatalf("len = %d", len(a))
+	}
+	if cmplx.Abs(a[1]-complex(1/math.Sqrt2, 0)) > 1e-12 {
+		t.Errorf("amp[1] = %v", a[1])
+	}
+	if cmplx.Abs(a[6]-complex(0, 1/math.Sqrt2)) > 1e-12 {
+		t.Errorf("amp[6] = %v", a[6])
+	}
+}
+
+func TestTwosComplement(t *testing.T) {
+	cases := []struct{ value, width, want int }{
+		{0, 4, 0}, {7, 4, 7}, {8, 4, -8}, {15, 4, -1}, {255, 8, -1}, {127, 8, 127},
+	}
+	for _, c := range cases {
+		if got := qint.TwosComplement(c.value, c.width); got != c.want {
+			t.Errorf("TwosComplement(%d, %d) = %d, want %d", c.value, c.width, got, c.want)
+		}
+	}
+	// Round trip via FromSigned.
+	for v := -8; v <= 7; v++ {
+		if got := qint.TwosComplement(qint.FromSigned(v, 4), 4); got != v {
+			t.Errorf("round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestFromSignedPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range signed value")
+		}
+	}()
+	qint.FromSigned(8, 4)
+}
+
+func TestProductLayout(t *testing.T) {
+	// x (2 qubits, LSBs) = |3>, y (3 qubits) = (|1>+|4>)/√2.
+	x := qint.NewBasis(2, 3)
+	y := qint.NewUniform(3, 1, 4)
+	amps := qint.Product(x, y)
+	if len(amps) != 32 {
+		t.Fatalf("len = %d", len(amps))
+	}
+	w := complex(1/math.Sqrt2, 0)
+	if cmplx.Abs(amps[3|1<<2]-w) > 1e-12 || cmplx.Abs(amps[3|4<<2]-w) > 1e-12 {
+		t.Errorf("product amplitudes wrong: %v %v", amps[3|1<<2], amps[3|4<<2])
+	}
+}
+
+func TestPrepareBasisStates(t *testing.T) {
+	for w := 1; w <= 5; w++ {
+		for v := 0; v < 1<<uint(w); v++ {
+			c := qint.Prepare(qint.NewBasis(w, v))
+			st := sim.NewState(w)
+			st.ApplyCircuit(c)
+			if p := st.Probability(v); math.Abs(p-1) > 1e-9 {
+				t.Fatalf("w=%d v=%d: P = %g", w, v, p)
+			}
+		}
+	}
+}
+
+func TestPrepareUniformSuperpositions(t *testing.T) {
+	cases := [][]int{{0, 1}, {3, 12}, {1, 2, 4, 8}, {0, 5, 10, 15}, {7}}
+	for _, vals := range cases {
+		q := qint.NewUniform(4, vals...)
+		c := qint.Prepare(q)
+		st := sim.NewState(4)
+		st.ApplyCircuit(c)
+		if !mat.VecEqualUpToGlobalPhase(st.Amps(), q.Amplitudes(), 1e-9) {
+			t.Errorf("values %v: prepared state differs", vals)
+		}
+	}
+}
+
+func TestPrepareRandomComplexStates(t *testing.T) {
+	// Property: Prepare reproduces arbitrary dense complex states.
+	prop := func(seed uint64) bool {
+		rng := testutil.NewRand(seed)
+		w := 1 + int(seed%5)
+		terms := make([]qint.Term, 0, 1<<uint(w))
+		for v := 0; v < 1<<uint(w); v++ {
+			terms = append(terms, qint.Term{Value: v, Amp: complex(rng.NormFloat64(), rng.NormFloat64())})
+		}
+		q := qint.New(w, terms)
+		st := sim.NewState(w)
+		st.ApplyCircuit(qint.Prepare(q))
+		return mat.VecEqualUpToGlobalPhase(st.Amps(), q.Amplitudes(), 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrepareSparseStates(t *testing.T) {
+	// The experiments' order-2 states are sparse; make sure those keep
+	// fidelity 1 too (they exercise the zero-subtree branches).
+	prop := func(seed uint64) bool {
+		rng := testutil.NewRand(seed ^ 0xfeed)
+		w := 4 + int(seed%3)
+		v1 := rng.IntN(1 << uint(w))
+		v2 := rng.IntN(1 << uint(w))
+		if v1 == v2 {
+			v2 = (v2 + 1) % (1 << uint(w))
+		}
+		q := qint.NewUniform(w, v1, v2)
+		st := sim.NewState(w)
+		st.ApplyCircuit(qint.Prepare(q))
+		return mat.VecEqualUpToGlobalPhase(st.Amps(), q.Amplitudes(), 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrepareOnRemappedRegister(t *testing.T) {
+	// Prepare y on qubits 2..4 of a 5-qubit state; qubits 0,1 untouched.
+	q := qint.NewUniform(3, 1, 6)
+	c := circuit.New(5)
+	qint.PrepareOn(c, []int{2, 3, 4}, q)
+	st := sim.NewState(5)
+	st.ApplyCircuit(c)
+	w := 1 / math.Sqrt2
+	if math.Abs(st.Probability(1<<2)-w*w) > 1e-9 || math.Abs(st.Probability(6<<2)-w*w) > 1e-9 {
+		t.Errorf("remapped prepare wrong: P(4)=%g P(24)=%g", st.Probability(1<<2), st.Probability(6<<2))
+	}
+}
+
+func TestPrepareEmitsOnlyNativeFriendlyGates(t *testing.T) {
+	q := qint.NewUniform(4, 2, 9, 11)
+	c := qint.Prepare(q)
+	for _, op := range c.Ops {
+		switch op.Kind.Name() {
+		case "ry", "rz", "cx":
+		default:
+			t.Fatalf("initializer emitted %s; only ry/rz/cx allowed", op.Kind)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Package qpe implements quantum phase estimation on top of the QFT
+// machinery — the paper's own description of the QFT is "a
+// phase-estimation algorithm", and QPE is the context (Shor, amplitude
+// estimation) in which Fourier arithmetic earns its keep.
+//
+// The estimable unitaries are the library's phase gates: for U = P(θ)
+// acting on an eigenstate |1>, controlled-U^(2^k) is CP(2^k·θ), which
+// the gate set expresses directly. That is enough to exercise the whole
+// QPE pipeline — Hadamard wall, controlled powers, inverse QFT with the
+// textbook bit order, measurement post-processing — without
+// multi-controlled machinery.
+package qpe
+
+import (
+	"math"
+
+	"qfarith/internal/circuit"
+	"qfarith/internal/gate"
+	"qfarith/internal/qft"
+)
+
+// PhaseEstimationGates appends a QPE circuit estimating the eigenphase
+// φ = θ/2π of P(θ) to t bits: phase register on `phase` (LSB first),
+// target qubit `target` assumed prepared in the |1> eigenstate. After
+// the circuit, measuring the phase register yields round(φ·2^t) with
+// high probability (exactly, when φ has a t-bit binary expansion).
+//
+// aqftDepth truncates the inverse QFT, the knob whose noise trade-off
+// the paper studies; pass qft.Full for the exact transform.
+func PhaseEstimationGates(c *circuit.Circuit, phase []int, target int, theta float64, aqftDepth int) {
+	t := len(phase)
+	if t == 0 {
+		panic("qpe: empty phase register")
+	}
+	for _, q := range phase {
+		if q == target {
+			panic("qpe: target overlaps the phase register")
+		}
+		c.Append(gate.H, 0, q)
+	}
+	// Controlled powers. The swap-free inverse QFT expects the qubit
+	// with label q (register position q-1) to carry the q-digit phase
+	// fraction 0.y_q…y_1, so position k must receive the power
+	// U^(2^(t-1-k)): its phase frac(2^(t-1-k)·φ) then has exactly k+1
+	// binary digits of the result, matching the paper's Eq. (3) layout.
+	for k := 0; k < t; k++ {
+		c.Append(gate.CP, scaleAngle(theta, t-1-k), phase[k], target)
+	}
+	qft.InverseGates(c, phase, aqftDepth)
+}
+
+// scaleAngle returns 2^k * theta reduced mod 2π to keep CP parameters
+// well-conditioned.
+func scaleAngle(theta float64, k int) float64 {
+	s := theta * math.Pow(2, float64(k))
+	s = math.Mod(s, 2*math.Pi)
+	if s > math.Pi {
+		s -= 2 * math.Pi
+	}
+	return s
+}
+
+// New builds a standalone QPE circuit with the phase register on qubits
+// 0..t-1 and the eigenstate target on qubit t (which the circuit flips
+// to |1> itself).
+func New(t int, theta float64, aqftDepth int) *circuit.Circuit {
+	c := circuit.New(t + 1)
+	c.Append(gate.X, 0, t)
+	phase := make([]int, t)
+	for i := range phase {
+		phase[i] = i
+	}
+	PhaseEstimationGates(c, phase, t, theta, aqftDepth)
+	return c
+}
+
+// EstimateFromDistribution converts a measured phase-register
+// distribution into the maximum-likelihood phase estimate φ ∈ [0, 1).
+func EstimateFromDistribution(probs []float64) float64 {
+	best, bestP := 0, -1.0
+	for v, p := range probs {
+		if p > bestP {
+			best, bestP = v, p
+		}
+	}
+	return float64(best) / float64(len(probs))
+}

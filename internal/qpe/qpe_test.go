@@ -1,0 +1,97 @@
+package qpe_test
+
+import (
+	"math"
+	"testing"
+
+	"qfarith/internal/arith"
+	"qfarith/internal/circuit"
+	"qfarith/internal/qft"
+	"qfarith/internal/qpe"
+	"qfarith/internal/sim"
+)
+
+func measurePhase(t *testing.T, bits int, theta float64, depth int) float64 {
+	t.Helper()
+	c := qpe.New(bits, theta, depth)
+	st := sim.NewState(bits + 1)
+	st.ApplyCircuit(c)
+	probs := st.RegisterProbs(arith.Range(0, bits))
+	return qpe.EstimateFromDistribution(probs)
+}
+
+func TestExactBinaryPhases(t *testing.T) {
+	// Phases with a t-bit expansion are recovered exactly and with
+	// probability 1.
+	bits := 5
+	for v := 0; v < 1<<uint(bits); v++ {
+		phi := float64(v) / 32
+		theta := 2 * math.Pi * phi
+		c := qpe.New(bits, theta, qft.Full)
+		st := sim.NewState(bits + 1)
+		st.ApplyCircuit(c)
+		probs := st.RegisterProbs(arith.Range(0, bits))
+		if p := probs[v]; math.Abs(p-1) > 1e-9 {
+			t.Fatalf("φ=%d/32: P(exact) = %g", v, p)
+		}
+	}
+}
+
+func TestIrrationalPhaseApproximated(t *testing.T) {
+	bits := 7
+	phi := 1 / math.Pi // no finite binary expansion
+	got := measurePhase(t, bits, 2*math.Pi*phi, qft.Full)
+	if math.Abs(got-phi) > 1.0/128 {
+		t.Errorf("estimated %g, want %g ± 2^-7", got, phi)
+	}
+}
+
+func TestResolutionImprovesWithBits(t *testing.T) {
+	phi := 0.3
+	prevErr := math.Inf(1)
+	for _, bits := range []int{3, 5, 8} {
+		got := measurePhase(t, bits, 2*math.Pi*phi, qft.Full)
+		err := math.Abs(got - phi)
+		if err > prevErr+1.0/float64(int(1)<<uint(bits)) {
+			t.Errorf("%d bits: error %g did not shrink (prev %g)", bits, err, prevErr)
+		}
+		prevErr = err
+	}
+	if prevErr > 1.0/256 {
+		t.Errorf("8-bit estimate error %g too large", prevErr)
+	}
+}
+
+func TestAQFTDepthDegradesEstimate(t *testing.T) {
+	// With an exact binary phase, the full inverse QFT nails it; an
+	// aggressively truncated AQFT spreads the distribution.
+	bits := 6
+	v := 23 // φ = 23/64
+	theta := 2 * math.Pi * float64(v) / 64
+	full := qpe.New(bits, theta, qft.Full)
+	d1 := qpe.New(bits, theta, 1)
+	stF := sim.NewState(bits + 1)
+	stF.ApplyCircuit(full)
+	st1 := sim.NewState(bits + 1)
+	st1.ApplyCircuit(d1)
+	pF := stF.RegisterProbs(arith.Range(0, bits))[v]
+	p1 := st1.RegisterProbs(arith.Range(0, bits))[v]
+	if math.Abs(pF-1) > 1e-9 {
+		t.Fatalf("full QPE P = %g", pF)
+	}
+	if p1 >= pF-1e-9 {
+		t.Errorf("depth-1 AQFT should blur the estimate: %g vs %g", p1, pF)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for overlapping registers")
+		}
+	}()
+	c := qpe.New(3, 1.0, qft.Full)
+	_ = c
+	cc := circuit.New(4)
+	qpe.PhaseEstimationGates(cc, []int{0, 1, 2}, 2, 1.0, qft.Full)
+}

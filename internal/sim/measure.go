@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// MeasureQubit performs a projective Z-basis measurement of qubit q:
+// it samples an outcome from the marginal, collapses the state onto the
+// corresponding subspace, renormalizes, and returns the outcome bit.
+func (s *State) MeasureQubit(q int, rng *rand.Rand) int {
+	p1 := s.population(q)
+	outcome := 0
+	if rng.Float64() < p1 {
+		outcome = 1
+	}
+	s.projectQubit(q, outcome)
+	return outcome
+}
+
+// MeasureRegister measures the listed qubits in order (LSB first) and
+// returns the composed integer outcome, collapsing the state.
+func (s *State) MeasureRegister(qubits []int, rng *rand.Rand) int {
+	v := 0
+	for i, q := range qubits {
+		v |= s.MeasureQubit(q, rng) << uint(i)
+	}
+	return v
+}
+
+// population returns P(qubit q = 1).
+func (s *State) population(q int) float64 {
+	step := 1 << uint(q)
+	var p float64
+	for g := step; g < len(s.amps); g += 2 * step {
+		for i := g; i < g+step; i++ {
+			a := s.amps[i]
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return p
+}
+
+// projectQubit zeroes the discarded branch and renormalizes.
+func (s *State) projectQubit(q, outcome int) {
+	step := 1 << uint(q)
+	// Zero the branch with bit != outcome.
+	start := 0
+	if outcome == 0 {
+		start = step
+	}
+	for g := start; g < len(s.amps); g += 2 * step {
+		for i := g; i < g+step; i++ {
+			s.amps[i] = 0
+		}
+	}
+	s.Normalize()
+}
+
+// ExpectationZ returns <Z_q> = P(0) - P(1) for qubit q.
+func (s *State) ExpectationZ(q int) float64 {
+	p1 := s.population(q)
+	return 1 - 2*p1
+}
+
+// ExpectedValue returns the mean of a register's integer value under the
+// current distribution, a convenience for arithmetic assertions.
+func (s *State) ExpectedValue(qubits []int) float64 {
+	probs := s.RegisterProbs(qubits)
+	var mean float64
+	for v, p := range probs {
+		mean += float64(v) * p
+	}
+	return mean
+}
+
+// ShannonEntropy returns the entropy (bits) of a register's outcome
+// distribution — a coarse noise indicator used by diagnostics (pure
+// arithmetic outputs have entropy log2(order); noise drives it toward
+// the register width).
+func (s *State) ShannonEntropy(qubits []int) float64 {
+	probs := s.RegisterProbs(qubits)
+	var h float64
+	for _, p := range probs {
+		if p > 1e-15 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}

@@ -1,0 +1,107 @@
+package sim_test
+
+import (
+	"math"
+	"testing"
+
+	"qfarith/internal/circuit"
+	"qfarith/internal/gate"
+	"qfarith/internal/sim"
+	"qfarith/internal/testutil"
+)
+
+func TestMeasureBasisState(t *testing.T) {
+	rng := testutil.NewRand(1)
+	st := sim.NewState(4)
+	st.SetBasis(0b1010)
+	for q, want := range []int{0, 1, 0, 1} {
+		if got := st.MeasureQubit(q, rng); got != want {
+			t.Fatalf("qubit %d measured %d, want %d", q, got, want)
+		}
+	}
+	// State unchanged by measuring a basis state.
+	if st.Probability(0b1010) < 1-1e-12 {
+		t.Error("measurement disturbed a basis state")
+	}
+}
+
+func TestMeasureCollapsesSuperposition(t *testing.T) {
+	rng := testutil.NewRand(2)
+	ones := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		st := sim.NewState(1)
+		st.H(0)
+		out := st.MeasureQubit(0, rng)
+		ones += out
+		// Post-measurement state must be the observed basis state.
+		if st.Probability(out) < 1-1e-12 {
+			t.Fatal("state not collapsed")
+		}
+	}
+	f := float64(ones) / trials
+	if math.Abs(f-0.5) > 0.05 {
+		t.Errorf("|+> measurement frequency %g, want ≈0.5", f)
+	}
+}
+
+func TestMeasureEntangledPairCorrelated(t *testing.T) {
+	rng := testutil.NewRand(3)
+	for i := 0; i < 200; i++ {
+		st := sim.NewState(2)
+		st.H(0)
+		st.CX(0, 1) // Bell state
+		a := st.MeasureQubit(0, rng)
+		b := st.MeasureQubit(1, rng)
+		if a != b {
+			t.Fatal("Bell pair measured anti-correlated in Z")
+		}
+	}
+}
+
+func TestMeasureRegister(t *testing.T) {
+	rng := testutil.NewRand(4)
+	st := sim.NewState(5)
+	st.SetBasis(0b10110)
+	if got := st.MeasureRegister([]int{1, 2, 4}, rng); got != 0b111 {
+		t.Errorf("register outcome %b, want 111", got)
+	}
+}
+
+func TestExpectationZ(t *testing.T) {
+	st := sim.NewState(2)
+	if z := st.ExpectationZ(0); math.Abs(z-1) > 1e-12 {
+		t.Errorf("<Z> of |0> = %g", z)
+	}
+	st.X(0)
+	if z := st.ExpectationZ(0); math.Abs(z+1) > 1e-12 {
+		t.Errorf("<Z> of |1> = %g", z)
+	}
+	st.H(1)
+	if z := st.ExpectationZ(1); math.Abs(z) > 1e-12 {
+		t.Errorf("<Z> of |+> = %g", z)
+	}
+}
+
+func TestExpectedValue(t *testing.T) {
+	st := sim.NewState(3)
+	st.H(0) // (|0>+|1>)/√2 on LSB: values 0 and 1 equally
+	if m := st.ExpectedValue([]int{0, 1, 2}); math.Abs(m-0.5) > 1e-12 {
+		t.Errorf("mean %g, want 0.5", m)
+	}
+}
+
+func TestShannonEntropy(t *testing.T) {
+	st := sim.NewState(3)
+	if h := st.ShannonEntropy([]int{0, 1, 2}); math.Abs(h) > 1e-12 {
+		t.Errorf("basis state entropy %g", h)
+	}
+	c := circuit.New(3)
+	c.Append(gate.H, 0, 0)
+	c.Append(gate.H, 0, 1)
+	c.Append(gate.H, 0, 2)
+	st.ApplyCircuit(c)
+	if h := st.ShannonEntropy([]int{0, 1, 2}); math.Abs(h-3) > 1e-9 {
+		t.Errorf("uniform entropy %g, want 3", h)
+	}
+}

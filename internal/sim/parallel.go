@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Gate kernels iterate disjoint amplitude groups, so they parallelize
+// embarrassingly. Workers controls how many goroutines a State uses for
+// its kernels; 1 (the default) keeps everything on the calling
+// goroutine. Parallelism only pays above a size threshold — goroutine
+// dispatch costs more than a small kernel — so small states always run
+// serially regardless of the setting.
+
+// parallelThreshold is the minimum amplitude count before kernels fan
+// out (2^16 amplitudes ≈ 1 MiB, around where per-gate work reaches tens
+// of microseconds).
+const parallelThreshold = 1 << 16
+
+// SetWorkers fixes the kernel goroutine count; n <= 0 selects
+// GOMAXPROCS. Returns the state for chaining.
+func (s *State) SetWorkers(n int) *State {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s.workers = n
+	return s
+}
+
+// Workers reports the configured kernel goroutine count (minimum 1).
+func (s *State) Workers() int {
+	if s.workers < 1 {
+		return 1
+	}
+	return s.workers
+}
+
+// parallelGroups runs fn over the group-index range [0, groups) split
+// across the configured workers. fn must be safe to run concurrently on
+// disjoint ranges (every kernel's groups touch disjoint amplitudes).
+func (s *State) parallelGroups(groups int, fn func(lo, hi int)) {
+	w := s.Workers()
+	if w == 1 || len(s.amps) < parallelThreshold || groups < w {
+		fn(0, groups)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (groups + w - 1) / w
+	for lo := 0; lo < groups; lo += chunk {
+		hi := lo + chunk
+		if hi > groups {
+			hi = groups
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Parallel variants of the hot kernels. Each group g covers the stride
+// block [2*step*g, 2*step*g + step) and its partner block.
+
+// apply1QP is the parallel form of Apply1Q.
+func (s *State) apply1QP(q int, m00, m01, m10, m11 complex128) {
+	step := 1 << uint(q)
+	groups := len(s.amps) / (2 * step)
+	s.parallelGroups(groups, func(lo, hi int) {
+		for g := lo; g < hi; g++ {
+			base := 2 * step * g
+			for i := base; i < base+step; i++ {
+				a0, a1 := s.amps[i], s.amps[i+step]
+				s.amps[i] = m00*a0 + m01*a1
+				s.amps[i+step] = m10*a0 + m11*a1
+			}
+		}
+	})
+}
+
+// phaseP is the parallel form of Phase.
+func (s *State) phaseP(q int, p complex128) {
+	step := 1 << uint(q)
+	groups := len(s.amps) / (2 * step)
+	s.parallelGroups(groups, func(lo, hi int) {
+		for g := lo; g < hi; g++ {
+			base := 2*step*g + step
+			for i := base; i < base+step; i++ {
+				s.amps[i] *= p
+			}
+		}
+	})
+}
+
+// cxP is the parallel form of CX.
+func (s *State) cxP(c, t int) {
+	lo, hi := c, t
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	cbit := 1 << uint(c)
+	tbit := 1 << uint(t)
+	quarter := len(s.amps) >> 2
+	s.parallelGroups(quarter, func(glo, ghi int) {
+		for k := glo; k < ghi; k++ {
+			i0 := insertZero(insertZero(k, lo), hi) | cbit
+			i1 := i0 | tbit
+			s.amps[i0], s.amps[i1] = s.amps[i1], s.amps[i0]
+		}
+	})
+}
+
+// cPhaseP is the parallel form of CPhase.
+func (s *State) cPhaseP(c, t int, p complex128) {
+	lo, hi := c, t
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	mask := (1 << uint(lo)) | (1 << uint(hi))
+	quarter := len(s.amps) >> 2
+	s.parallelGroups(quarter, func(glo, ghi int) {
+		for k := glo; k < ghi; k++ {
+			idx := insertZero(insertZero(k, lo), hi) | mask
+			s.amps[idx] *= p
+		}
+	})
+}

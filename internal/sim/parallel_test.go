@@ -1,0 +1,97 @@
+package sim_test
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"qfarith/internal/arith"
+	"qfarith/internal/qft"
+	"qfarith/internal/sim"
+	"qfarith/internal/testutil"
+)
+
+// TestParallelKernelsMatchSerial verifies bit-for-bit agreement between
+// the serial and goroutine-parallel kernel paths on a state large
+// enough to cross the parallel threshold (17 qubits = 2^17 amplitudes).
+func TestParallelKernelsMatchSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-state comparison")
+	}
+	n := 17
+	rng := testutil.NewRand(88)
+	serial := testutil.RandomState(rng, n)
+	parallel := serial.Clone().SetWorkers(4)
+
+	th := 2 * math.Pi / 32
+	apply := func(st *sim.State) {
+		st.H(3)
+		st.Apply1Q(9, complex(math.Cos(th), 0), complex(0, -math.Sin(th)),
+			complex(0, -math.Sin(th)), complex(math.Cos(th), 0))
+		st.Phase(14, th)
+		st.CX(2, 13)
+		st.CX(16, 0)
+		st.CPhase(5, 12, th)
+		st.CPhase(12, 5, -th)
+	}
+	apply(serial)
+	apply(parallel)
+	for i := range serial.Amps() {
+		if cmplx.Abs(serial.Amps()[i]-parallel.Amps()[i]) > 1e-12 {
+			t.Fatalf("amp %d diverged: %v vs %v", i, serial.Amps()[i], parallel.Amps()[i])
+		}
+	}
+}
+
+func TestParallelWholeCircuitMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-state comparison")
+	}
+	// A full 17-qubit QFT exercises every kernel shape.
+	c := qft.New(17, qft.Full)
+	rng := testutil.NewRand(89)
+	serial := testutil.RandomState(rng, 17)
+	parallel := serial.Clone().SetWorkers(3)
+	serial.ApplyCircuit(c)
+	parallel.ApplyCircuit(c)
+	var maxd float64
+	for i := range serial.Amps() {
+		if d := cmplx.Abs(serial.Amps()[i] - parallel.Amps()[i]); d > maxd {
+			maxd = d
+		}
+	}
+	if maxd > 1e-12 {
+		t.Errorf("parallel QFT diverged by %g", maxd)
+	}
+	_ = arith.FullAdd
+}
+
+func TestSetWorkersSmallStatesStaySerialAndCorrect(t *testing.T) {
+	// Below the threshold the parallel path must not engage; behaviour
+	// must be identical either way.
+	rng := testutil.NewRand(90)
+	a := testutil.RandomState(rng, 6)
+	b := a.Clone().SetWorkers(8)
+	a.H(2)
+	b.H(2)
+	a.CX(1, 4)
+	b.CX(1, 4)
+	for i := range a.Amps() {
+		if a.Amps()[i] != b.Amps()[i] {
+			t.Fatal("small-state parallel divergence")
+		}
+	}
+	if b.Workers() != 8 {
+		t.Errorf("Workers() = %d", b.Workers())
+	}
+	if sim.NewState(2).Workers() != 1 {
+		t.Error("default workers should be 1")
+	}
+}
+
+func TestSetWorkersZeroSelectsGOMAXPROCS(t *testing.T) {
+	st := sim.NewState(2).SetWorkers(0)
+	if st.Workers() < 1 {
+		t.Errorf("Workers() = %d", st.Workers())
+	}
+}

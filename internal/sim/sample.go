@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"sort"
+)
+
+// Sampler draws measurement shots from probability distributions. It
+// wraps a deterministic PCG source so experiments are reproducible from
+// a seed.
+type Sampler struct {
+	rng *rand.Rand
+}
+
+// NewSampler returns a Sampler seeded with the two-word PCG seed.
+func NewSampler(seed1, seed2 uint64) *Sampler {
+	return &Sampler{rng: rand.New(rand.NewPCG(seed1, seed2))}
+}
+
+// Rand exposes the underlying RNG (used by the noise trajectory sampler).
+func (s *Sampler) Rand() *rand.Rand { return s.rng }
+
+// CDF converts a probability vector into a cumulative distribution,
+// normalizing away accumulated floating-point drift.
+func CDF(probs []float64) []float64 {
+	cdf := make([]float64, len(probs))
+	var acc float64
+	for i, p := range probs {
+		if p < 0 {
+			p = 0 // numerical noise from kernel arithmetic
+		}
+		acc += p
+		cdf[i] = acc
+	}
+	if acc > 0 {
+		inv := 1 / acc
+		for i := range cdf {
+			cdf[i] *= inv
+		}
+	}
+	cdf[len(cdf)-1] = 1
+	return cdf
+}
+
+// Counts draws `shots` samples from the distribution described by probs
+// and returns a histogram of outcomes. Sampling is by inverse-CDF binary
+// search, so the cost is O(shots * log len(probs)).
+func (s *Sampler) Counts(probs []float64, shots int) []int {
+	cdf := CDF(probs)
+	out := make([]int, len(probs))
+	for i := 0; i < shots; i++ {
+		u := s.rng.Float64()
+		k := sort.SearchFloat64s(cdf, u)
+		if k >= len(out) {
+			k = len(out) - 1
+		}
+		// SearchFloat64s finds the first cdf >= u only when cdf values are
+		// distinct; skip over zero-probability bins that share a value.
+		for k < len(out)-1 && cdf[k] < u {
+			k++
+		}
+		out[k]++
+	}
+	return out
+}
+
+// One draws a single sample from probs.
+func (s *Sampler) One(probs []float64) int {
+	cdf := CDF(probs)
+	u := s.rng.Float64()
+	k := sort.SearchFloat64s(cdf, u)
+	if k >= len(probs) {
+		k = len(probs) - 1
+	}
+	return k
+}
+
+// MixInto accumulates weight*src into dst (both probability vectors).
+func MixInto(dst []float64, src []float64, weight float64) {
+	for i := range dst {
+		dst[i] += weight * src[i]
+	}
+}

@@ -1,0 +1,49 @@
+// Package testutil holds shared test helpers: computing the full unitary
+// of a circuit by simulating basis states, random state generation, and
+// tolerance constants.
+package testutil
+
+import (
+	"math/rand/v2"
+
+	"qfarith/internal/circuit"
+	"qfarith/internal/mat"
+	"qfarith/internal/sim"
+)
+
+// Tol is the default comparison tolerance for unitary/state checks.
+const Tol = 1e-9
+
+// CircuitUnitary computes the dense unitary implemented by c over n
+// qubits (n >= c.NumQubits) by applying c to every basis state. Columns
+// follow the simulator's index convention (qubit 0 = least significant
+// bit).
+func CircuitUnitary(c *circuit.Circuit, n int) *mat.Matrix {
+	dim := 1 << uint(n)
+	u := mat.New(dim, dim)
+	for col := 0; col < dim; col++ {
+		st := sim.NewState(n)
+		st.SetBasis(col)
+		st.ApplyCircuit(c)
+		for row := 0; row < dim; row++ {
+			u.Set(row, col, st.Amps()[row])
+		}
+	}
+	return u
+}
+
+// RandomState returns a normalized random n-qubit state drawn from rng.
+func RandomState(rng *rand.Rand, n int) *sim.State {
+	st := sim.NewState(n)
+	amps := make([]complex128, st.Dim())
+	for i := range amps {
+		amps[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	st.SetAmplitudes(amps)
+	return st
+}
+
+// NewRand returns a deterministic RNG for tests.
+func NewRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}

@@ -1,0 +1,295 @@
+// Package transpile lowers circuits to the IBM superconducting native
+// basis {id, x, rz, sx, cx} the paper targets (Qiskit's basis for the
+// noise simulations), tracks which native gates implement which source
+// gate (so noise can be injected at physical-gate positions), applies a
+// peephole optimizer, and provides the gate-cost model that reproduces
+// the paper's Table I.
+package transpile
+
+import (
+	"fmt"
+	"math"
+
+	"qfarith/internal/circuit"
+	"qfarith/internal/gate"
+)
+
+// Span locates the native expansion of one source op inside Result.Ops.
+type Span struct {
+	Start, End int // half-open index range into Result.Ops
+}
+
+// Result is a lowered circuit plus the source-op bookkeeping needed to
+// interleave noise with logical-gate fast paths.
+type Result struct {
+	NumQubits int
+	Ops       []circuit.Op // native gates only
+	Source    []circuit.Op // the original logical ops
+	Spans     []Span       // Spans[i] covers Source[i]'s native expansion
+}
+
+// Counts tallies the native gates by kind.
+func (r *Result) Counts() map[gate.Kind]int {
+	out := make(map[gate.Kind]int)
+	for _, op := range r.Ops {
+		out[op.Kind]++
+	}
+	return out
+}
+
+// CountByArity returns the native (1q, 2q) gate totals.
+func (r *Result) CountByArity() (one, two int) {
+	for _, op := range r.Ops {
+		if op.Kind.Arity() == 1 {
+			one++
+		} else {
+			two++
+		}
+	}
+	return
+}
+
+// Circuit reassembles the native ops as a standalone circuit.
+func (r *Result) Circuit() *circuit.Circuit {
+	c := circuit.New(r.NumQubits)
+	c.Ops = append(c.Ops, r.Ops...)
+	return c
+}
+
+// Transpile lowers every op of c to the native basis, preserving the
+// unitary up to global phase. No cross-gate optimization is performed so
+// Spans stay exact; use Optimize for a peephole-cleaned copy.
+func Transpile(c *circuit.Circuit) *Result {
+	r := &Result{NumQubits: c.NumQubits}
+	for _, op := range c.Ops {
+		start := len(r.Ops)
+		r.Ops = appendNative(r.Ops, op)
+		r.Source = append(r.Source, op)
+		r.Spans = append(r.Spans, Span{Start: start, End: len(r.Ops)})
+	}
+	return r
+}
+
+// appendNative appends the native expansion of op to dst.
+func appendNative(dst []circuit.Op, op circuit.Op) []circuit.Op {
+	q := op.Qubits
+	th := op.Theta
+	switch op.Kind {
+	case gate.I, gate.X, gate.SX, gate.RZ, gate.CX:
+		return append(dst, op)
+	case gate.P:
+		return append(dst, circuit.NewOp(gate.RZ, th, q[0]))
+	case gate.Z:
+		return append(dst, circuit.NewOp(gate.RZ, math.Pi, q[0]))
+	case gate.S:
+		return append(dst, circuit.NewOp(gate.RZ, math.Pi/2, q[0]))
+	case gate.Sdg:
+		return append(dst, circuit.NewOp(gate.RZ, -math.Pi/2, q[0]))
+	case gate.T:
+		return append(dst, circuit.NewOp(gate.RZ, math.Pi/4, q[0]))
+	case gate.Tdg:
+		return append(dst, circuit.NewOp(gate.RZ, -math.Pi/4, q[0]))
+	case gate.Y:
+		// Y ≅ Z·X (up to global phase i): circuit order X then RZ(π).
+		return append(dst,
+			circuit.NewOp(gate.X, 0, q[0]),
+			circuit.NewOp(gate.RZ, math.Pi, q[0]))
+	case gate.H:
+		// H ≅ RZ(π/2)·SX·RZ(π/2) up to global phase.
+		return append(dst,
+			circuit.NewOp(gate.RZ, math.Pi/2, q[0]),
+			circuit.NewOp(gate.SX, 0, q[0]),
+			circuit.NewOp(gate.RZ, math.Pi/2, q[0]))
+	case gate.SXdg:
+		return append(dst,
+			circuit.NewOp(gate.RZ, math.Pi, q[0]),
+			circuit.NewOp(gate.SX, 0, q[0]),
+			circuit.NewOp(gate.RZ, math.Pi, q[0]))
+	case gate.RX:
+		// RX(θ) = H·RZ(θ)·H; expand the Hadamards natively.
+		dst = appendNative(dst, circuit.NewOp(gate.H, 0, q[0]))
+		dst = append(dst, circuit.NewOp(gate.RZ, th, q[0]))
+		return appendNative(dst, circuit.NewOp(gate.H, 0, q[0]))
+	case gate.RY:
+		// RY(θ) = RZ(π/2)∘RX(θ)∘RZ(-π/2) as operators; circuit order
+		// RZ(-π/2), RX(θ), RZ(π/2).
+		dst = append(dst, circuit.NewOp(gate.RZ, -math.Pi/2, q[0]))
+		dst = appendNative(dst, circuit.NewOp(gate.RX, th, q[0]))
+		return append(dst, circuit.NewOp(gate.RZ, math.Pi/2, q[0]))
+	case gate.CZ:
+		dst = appendNative(dst, circuit.NewOp(gate.H, 0, q[1]))
+		dst = append(dst, circuit.NewOp(gate.CX, 0, q[0], q[1]))
+		return appendNative(dst, circuit.NewOp(gate.H, 0, q[1]))
+	case gate.CP:
+		// CP(θ) = P(θ/2)a · CX · P(-θ/2)b · CX · P(θ/2)b  (2 CX + 3 RZ).
+		return append(dst,
+			circuit.NewOp(gate.RZ, th/2, q[0]),
+			circuit.NewOp(gate.CX, 0, q[0], q[1]),
+			circuit.NewOp(gate.RZ, -th/2, q[1]),
+			circuit.NewOp(gate.CX, 0, q[0], q[1]),
+			circuit.NewOp(gate.RZ, th/2, q[1]))
+	case gate.CH:
+		// Qiskit's decomposition: A·CX·A† with A = S·H·T on the target:
+		// circuit order s,h,t, cx, tdg,h,sdg  (1 CX + 6 cost-model 1q).
+		dst = append(dst, circuit.NewOp(gate.RZ, math.Pi/2, q[1]))
+		dst = appendNative(dst, circuit.NewOp(gate.H, 0, q[1]))
+		dst = append(dst,
+			circuit.NewOp(gate.RZ, math.Pi/4, q[1]),
+			circuit.NewOp(gate.CX, 0, q[0], q[1]),
+			circuit.NewOp(gate.RZ, -math.Pi/4, q[1]))
+		dst = appendNative(dst, circuit.NewOp(gate.H, 0, q[1]))
+		return append(dst, circuit.NewOp(gate.RZ, -math.Pi/2, q[1]))
+	case gate.CRY:
+		// CRY(θ) = RY(θ/2)t · CX · RY(-θ/2)t · CX.
+		dst = appendNative(dst, circuit.NewOp(gate.RY, th/2, q[1]))
+		dst = append(dst, circuit.NewOp(gate.CX, 0, q[0], q[1]))
+		dst = appendNative(dst, circuit.NewOp(gate.RY, -th/2, q[1]))
+		return append(dst, circuit.NewOp(gate.CX, 0, q[0], q[1]))
+	case gate.SWAP:
+		return append(dst,
+			circuit.NewOp(gate.CX, 0, q[0], q[1]),
+			circuit.NewOp(gate.CX, 0, q[1], q[0]),
+			circuit.NewOp(gate.CX, 0, q[0], q[1]))
+	case gate.CCP:
+		// CCP(θ) = CP(θ/2)(b,t) · CX(a,b) · CP(-θ/2)(b,t) · CX(a,b) ·
+		//          CP(θ/2)(a,t)  (8 CX + 9 RZ).
+		dst = appendNative(dst, circuit.NewOp(gate.CP, th/2, q[1], q[2]))
+		dst = append(dst, circuit.NewOp(gate.CX, 0, q[0], q[1]))
+		dst = appendNative(dst, circuit.NewOp(gate.CP, -th/2, q[1], q[2]))
+		dst = append(dst, circuit.NewOp(gate.CX, 0, q[0], q[1]))
+		return appendNative(dst, circuit.NewOp(gate.CP, th/2, q[0], q[2]))
+	case gate.CCX:
+		// Canonical 6-CX Toffoli.
+		a, b, t := q[0], q[1], q[2]
+		dst = appendNative(dst, circuit.NewOp(gate.H, 0, t))
+		dst = append(dst, circuit.NewOp(gate.CX, 0, b, t))
+		dst = append(dst, circuit.NewOp(gate.RZ, -math.Pi/4, t))
+		dst = append(dst, circuit.NewOp(gate.CX, 0, a, t))
+		dst = append(dst, circuit.NewOp(gate.RZ, math.Pi/4, t))
+		dst = append(dst, circuit.NewOp(gate.CX, 0, b, t))
+		dst = append(dst, circuit.NewOp(gate.RZ, -math.Pi/4, t))
+		dst = append(dst, circuit.NewOp(gate.CX, 0, a, t))
+		dst = append(dst, circuit.NewOp(gate.RZ, math.Pi/4, b))
+		dst = append(dst, circuit.NewOp(gate.RZ, math.Pi/4, t))
+		dst = appendNative(dst, circuit.NewOp(gate.H, 0, t))
+		dst = append(dst, circuit.NewOp(gate.CX, 0, a, b))
+		dst = append(dst, circuit.NewOp(gate.RZ, math.Pi/4, a))
+		dst = append(dst, circuit.NewOp(gate.RZ, -math.Pi/4, b))
+		return append(dst, circuit.NewOp(gate.CX, 0, a, b))
+	case gate.CCH:
+		// CCH = A(t)·CCX·A†(t) with A = S·H·T, reusing the CH pattern.
+		dst = append(dst, circuit.NewOp(gate.RZ, math.Pi/2, q[2]))
+		dst = appendNative(dst, circuit.NewOp(gate.H, 0, q[2]))
+		dst = append(dst, circuit.NewOp(gate.RZ, math.Pi/4, q[2]))
+		dst = appendNative(dst, circuit.NewOp(gate.CCX, 0, q[0], q[1], q[2]))
+		dst = append(dst, circuit.NewOp(gate.RZ, -math.Pi/4, q[2]))
+		dst = appendNative(dst, circuit.NewOp(gate.H, 0, q[2]))
+		return append(dst, circuit.NewOp(gate.RZ, -math.Pi/2, q[2]))
+	default:
+		panic(fmt.Sprintf("transpile: no native decomposition for %s", op.Kind))
+	}
+}
+
+// Optimize applies a peephole pass to a native circuit: adjacent RZ on
+// the same qubit merge (angles summed mod 2π, identities dropped) and
+// adjacent identical CX pairs cancel, iterating to a fixed point. It
+// returns a new circuit; the op-to-span bookkeeping of a Result does not
+// survive optimization, so optimized circuits are used for counting and
+// noiseless execution only.
+func Optimize(c *circuit.Circuit) *circuit.Circuit {
+	ops := append([]circuit.Op(nil), c.Ops...)
+	for {
+		var changed bool
+		ops, changed = optimizePass(ops)
+		if !changed {
+			break
+		}
+	}
+	out := circuit.New(c.NumQubits)
+	out.Ops = ops
+	return out
+}
+
+func optimizePass(ops []circuit.Op) ([]circuit.Op, bool) {
+	out := ops[:0:0]
+	changed := false
+	// lastOn[q] = index in out of the latest op touching qubit q, or -1.
+	lastOn := map[int]int{}
+	touch := func(op circuit.Op, idx int) {
+		for _, q := range op.Active() {
+			lastOn[q] = idx
+		}
+	}
+	for _, op := range ops {
+		switch op.Kind {
+		case gate.RZ:
+			q := op.Qubits[0]
+			if li, ok := lastOn[q]; ok && li >= 0 && li < len(out) && out[li].Kind == gate.RZ && out[li].Qubits[0] == q {
+				out[li].Theta = normAngle(out[li].Theta + op.Theta)
+				changed = true
+				if isZeroAngle(out[li].Theta) {
+					out = append(out[:li], out[li+1:]...)
+					rebuild(lastOn, out)
+				}
+				continue
+			}
+			if isZeroAngle(op.Theta) {
+				changed = true
+				continue
+			}
+		case gate.CX:
+			c0, t0 := op.Qubits[0], op.Qubits[1]
+			lc, okc := lastOn[c0]
+			lt, okt := lastOn[t0]
+			if okc && okt && lc == lt && lc >= 0 && lc < len(out) {
+				prev := out[lc]
+				if prev.Kind == gate.CX && prev.Qubits[0] == c0 && prev.Qubits[1] == t0 {
+					out = append(out[:lc], out[lc+1:]...)
+					rebuild(lastOn, out)
+					changed = true
+					continue
+				}
+			}
+		case gate.X:
+			q := op.Qubits[0]
+			if li, ok := lastOn[q]; ok && li >= 0 && li < len(out) && out[li].Kind == gate.X && out[li].Qubits[0] == q {
+				out = append(out[:li], out[li+1:]...)
+				rebuild(lastOn, out)
+				changed = true
+				continue
+			}
+		case gate.I:
+			changed = true
+			continue
+		}
+		out = append(out, op)
+		touch(op, len(out)-1)
+	}
+	return out, changed
+}
+
+func rebuild(lastOn map[int]int, out []circuit.Op) {
+	for k := range lastOn {
+		delete(lastOn, k)
+	}
+	for i, op := range out {
+		for _, q := range op.Active() {
+			lastOn[q] = i
+		}
+	}
+}
+
+func normAngle(t float64) float64 {
+	t = math.Mod(t, 2*math.Pi)
+	if t > math.Pi {
+		t -= 2 * math.Pi
+	} else if t <= -math.Pi {
+		t += 2 * math.Pi
+	}
+	return t
+}
+
+func isZeroAngle(t float64) bool {
+	const eps = 1e-12
+	return math.Abs(normAngle(t)) < eps
+}

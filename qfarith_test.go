@@ -1,0 +1,174 @@
+package qfarith_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qfarith"
+)
+
+func TestAddNoiseless(t *testing.T) {
+	res := qfarith.Add(qfarith.Basis(4, 9), qfarith.Basis(5, 17), qfarith.WithSeed(2))
+	if !res.Success {
+		t.Fatal("noiseless add failed")
+	}
+	want := 26
+	if res.Counts[want] != 2048 {
+		t.Fatalf("counts[%d] = %d, want all 2048", want, res.Counts[want])
+	}
+	if !res.Expected[want] || len(res.Expected) != 1 {
+		t.Fatalf("expected set %v", res.Expected)
+	}
+}
+
+func TestAddModularWrap(t *testing.T) {
+	res := qfarith.Add(qfarith.Basis(4, 15), qfarith.Basis(4, 9))
+	if !res.Expected[(15+9)&15] {
+		t.Fatalf("expected set %v should contain the modular sum", res.Expected)
+	}
+	if !res.Success {
+		t.Fatal("modular add failed")
+	}
+}
+
+func TestAddSuperposed(t *testing.T) {
+	x := qfarith.Uniform(4, 3, 12)
+	y := qfarith.Uniform(5, 5, 20)
+	res := qfarith.Add(x, y, qfarith.WithSeed(5))
+	if len(res.Expected) != 4 {
+		t.Fatalf("expected 4 sums, got %v", res.Expected)
+	}
+	if !res.Success {
+		t.Fatal("noiseless superposed add failed")
+	}
+	// Each correct outcome should carry ≈ a quarter of the shots.
+	for v := range res.Expected {
+		if f := float64(res.Counts[v]) / 2048; math.Abs(f-0.25) > 0.08 {
+			t.Errorf("outcome %d frequency %.3f, want ≈0.25", v, f)
+		}
+	}
+}
+
+func TestSub(t *testing.T) {
+	res := qfarith.Sub(qfarith.Basis(4, 9), qfarith.Basis(5, 17))
+	if !res.Success || !res.Expected[8] {
+		t.Fatalf("17-9: success=%v expected=%v", res.Success, res.Expected)
+	}
+	// Negative difference wraps in two's complement.
+	res = qfarith.Sub(qfarith.Basis(4, 9), qfarith.Basis(4, 2))
+	if !res.Expected[(2-9)&15] {
+		t.Fatalf("2-9 expected set %v", res.Expected)
+	}
+}
+
+func TestMul(t *testing.T) {
+	res := qfarith.Mul(qfarith.Basis(3, 6), qfarith.Basis(3, 7), qfarith.WithSeed(3))
+	if !res.Success || !res.Expected[42] {
+		t.Fatalf("6*7: success=%v expected=%v", res.Success, res.Expected)
+	}
+	if res.OutputBits != 6 {
+		t.Fatalf("product register %d bits, want 6", res.OutputBits)
+	}
+}
+
+func TestMulSuperposed(t *testing.T) {
+	res := qfarith.Mul(qfarith.Uniform(3, 2, 5), qfarith.Basis(3, 3), qfarith.WithSeed(4))
+	if !res.Expected[6] || !res.Expected[15] {
+		t.Fatalf("expected set %v", res.Expected)
+	}
+	if !res.Success {
+		t.Fatal("superposed mul failed")
+	}
+}
+
+func TestNoiseDegradesAndDepthMatters(t *testing.T) {
+	x := qfarith.Uniform(7, 19, 100)
+	y := qfarith.Uniform(8, 7, 200)
+	clean := qfarith.Add(x, y, qfarith.WithSeed(7))
+	noisy := qfarith.Add(x, y, qfarith.WithSeed(7), qfarith.WithNoise(0.002, 0.02), qfarith.WithTrajectories(32))
+	if !clean.Success {
+		t.Fatal("clean 2:2 add failed")
+	}
+	cleanMin, noisyMin := minExpectedCount(clean), minExpectedCount(noisy)
+	if noisyMin >= cleanMin {
+		t.Errorf("noise did not reduce correct-output counts: %d vs %d", noisyMin, cleanMin)
+	}
+}
+
+func minExpectedCount(r qfarith.Result) int {
+	min := 1 << 30
+	for v := range r.Expected {
+		if r.Counts[v] < min {
+			min = r.Counts[v]
+		}
+	}
+	return min
+}
+
+func TestGateCountsExposed(t *testing.T) {
+	res := qfarith.Add(qfarith.Basis(7, 1), qfarith.Basis(8, 2), qfarith.WithDepth(3))
+	if res.Gates.Paper1q != 229 || res.Gates.Paper2q != 142 {
+		t.Errorf("gate counts (%d, %d), want Table I (229, 142)", res.Gates.Paper1q, res.Gates.Paper2q)
+	}
+}
+
+func TestDescribeAdder(t *testing.T) {
+	info := qfarith.DescribeAdder(7, 8, qfarith.FullDepth)
+	if info.Gates.Paper1q != 289 || info.Gates.Paper2q != 182 {
+		t.Errorf("full QFA counts (%d, %d), want (289, 182)", info.Gates.Paper1q, info.Gates.Paper2q)
+	}
+	if !info.AQFTFull {
+		t.Error("FullDepth should report AQFTFull")
+	}
+	if info.Qubits != 15 {
+		t.Errorf("qubits = %d, want 15", info.Qubits)
+	}
+	if qfarith.DescribeAdder(7, 8, 2).AQFTFull {
+		t.Error("depth 2 reported as full")
+	}
+}
+
+func TestDescribeMultiplierTable(t *testing.T) {
+	info := qfarith.DescribeMultiplier(4, 4, 2)
+	if info.Gates.Paper1q != 1248 || info.Gates.Paper2q != 936 {
+		t.Errorf("QFM d=2 counts (%d, %d), want (1248, 936)", info.Gates.Paper1q, info.Gates.Paper2q)
+	}
+}
+
+func TestDescribeQFT(t *testing.T) {
+	info := qfarith.DescribeQFT(8, qfarith.FullDepth)
+	// 8 H + 28 CP -> 8 + 3*28 = 92 paper-1q, 56 CX.
+	if info.Gates.Paper1q != 92 || info.Gates.Paper2q != 56 {
+		t.Errorf("QFT counts (%d, %d), want (92, 56)", info.Gates.Paper1q, info.Gates.Paper2q)
+	}
+}
+
+func TestResultDistributionNormalized(t *testing.T) {
+	prop := func(seed uint64) bool {
+		x := qfarith.Basis(3, int(seed%8))
+		y := qfarith.Basis(4, int(seed%16))
+		res := qfarith.Add(x, y, qfarith.WithSeed(seed), qfarith.WithNoise(0.01, 0.01), qfarith.WithTrajectories(4), qfarith.WithShots(128))
+		var s float64
+		for _, p := range res.Probs {
+			s += p
+		}
+		total := 0
+		for _, c := range res.Counts {
+			total += c
+		}
+		return math.Abs(s-1) < 1e-9 && total == 128
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddPanicsOnWidthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic when addend is wider than the sum register")
+		}
+	}()
+	qfarith.Add(qfarith.Basis(5, 1), qfarith.Basis(4, 1))
+}
