@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"qfarith/internal/arith"
+	"qfarith/internal/backend"
 	"qfarith/internal/experiment"
 	"qfarith/internal/noise"
 	"qfarith/internal/qft"
@@ -143,6 +144,51 @@ func BenchmarkAblateAddCut(b *testing.B) {
 		last = experiment.RunPointCfg(cfg, arith.Config{Depth: qft.Full, AddCut: 3})
 	}
 	b.ReportMetric(last.Stats.SuccessRate, "success%")
+}
+
+// ------------------------------------------------------ transpile cache
+
+// BenchmarkPanelTranspileCache measures the circuit-construction cost of
+// a fig3-shaped panel (7 rates x 5 depths over the paper QFA geometry).
+// Every rate column reuses the same five circuits, so the runner's
+// transpile cache collapses 35 transpile calls to 5; the two
+// sub-benchmarks quantify that saving.
+func BenchmarkPanelTranspileCache(b *testing.B) {
+	geo := experiment.PaperAddGeometry()
+	rates := 7
+	depths := []int{1, 2, 3, 4, qft.Full}
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < rates; r++ {
+				for _, d := range depths {
+					if geo.BuildCircuit(d) == nil {
+						b.Fatal("nil circuit")
+					}
+				}
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cache := backend.NewTranspileCache()
+			for r := 0; r < rates; r++ {
+				for _, d := range depths {
+					key := backend.CircuitKey{
+						Family: geo.Op.String(),
+						XBits:  geo.XBits, YBits: geo.YBits,
+						Depth: d, AddCut: arith.FullAdd,
+					}
+					res := cache.Get(key, func() *transpile.Result { return geo.BuildCircuit(d) })
+					if res == nil {
+						b.Fatal("nil circuit")
+					}
+				}
+			}
+			if hits, misses := cache.Stats(); misses != len(depths) || hits != rates*len(depths)-len(depths) {
+				b.Fatalf("cache stats (%d hits, %d misses) off-plan", hits, misses)
+			}
+		}
+	})
 }
 
 // ----------------------------------------------------------- microbench

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"qfarith/internal/arith"
+	"qfarith/internal/backend"
 	"qfarith/internal/circuit"
 	"qfarith/internal/experiment"
 	"qfarith/internal/layout"
@@ -97,7 +98,13 @@ func runAblateRouting(args []string) {
 	instances := fs.Int("instances", 30, "instances per point")
 	traj := fs.Int("traj", 24, "trajectories per instance")
 	p2 := fs.Float64("p2", 0.005, "2q depolarizing rate")
+	backendName := fs.String("backend", backend.DefaultName,
+		"execution backend: "+strings.Join(backend.Names(), "|"))
+	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	fs.Parse(args)
+	ctx, stop := sweepContext()
+	defer stop()
+	runner := newRunnerOrExit(*backendName, *workers)
 
 	geo := experiment.PaperAddGeometry()
 	cfg := experiment.PointConfig{
@@ -110,7 +117,10 @@ func runAblateRouting(args []string) {
 	fmt.Printf("E7 — qubit-connectivity ablation (QFA n=8, d=3, 1:2, λ1=0.2%%, λ2=%.2f%%)\n", *p2*100)
 	fmt.Printf("%-22s %10s %10s %12s %12s\n", "topology", "CX", "swaps", "w0", "success")
 
-	base := experiment.RunPoint(cfg)
+	base, err := experiment.RunPointCtx(ctx, runner, cfg)
+	if err != nil {
+		exitSweepErr(err)
+	}
 	fmt.Printf("%-22s %10d %10s %12.4f %11.1f%%\n", "all-to-all (paper)", base.Native2q, "-", base.NoErrorProb, base.Stats.SuccessRate)
 
 	topos := []struct {
@@ -122,7 +132,10 @@ func runAblateRouting(args []string) {
 		{"linear chain", layout.Linear(15)},
 	}
 	for _, tp := range topos {
-		r := experiment.RunRoutedPoint(cfg, tp.cm)
+		r, err := experiment.RunRoutedPointCtx(ctx, runner, cfg, tp.cm)
+		if err != nil {
+			exitSweepErr(err)
+		}
 		swaps := (r.Native2q - base.Native2q) / 3
 		fmt.Printf("%-22s %10d %10d %12.4f %11.1f%%\n", tp.name, r.Native2q, swaps, r.NoErrorProb, r.Stats.SuccessRate)
 	}
@@ -139,7 +152,13 @@ func runScaling(args []string) {
 	shots := fs.Int("shots", 2048, "shots per instance")
 	widths := fs.String("n", "4,6,8,10", "comma-separated sum-register widths")
 	rates := fs.String("rates", "1,2,3", "comma-separated 2q error percentages")
+	backendName := fs.String("backend", backend.DefaultName,
+		"execution backend: "+strings.Join(backend.Names(), "|")+" (density caps n at 5)")
+	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	fs.Parse(args)
+	ctx, stop := sweepContext()
+	defer stop()
+	runner := newRunnerOrExit(*backendName, *workers)
 
 	var ns []int
 	for _, tok := range strings.Split(*widths, ",") {
@@ -175,7 +194,10 @@ func runScaling(args []string) {
 					RowSeed:   splitMix(77, uint64(n)),
 					PointSeed: splitMix(78, uint64(n)<<16|uint64(d)<<8|uint64(p2*1000)),
 				}
-				r := experiment.RunPoint(cfg)
+				r, err := experiment.RunPointCtx(ctx, runner, cfg)
+				if err != nil {
+					exitSweepErr(err)
+				}
 				cells = append(cells, fmt.Sprintf("%.0f", r.Stats.SuccessRate))
 				if r.Stats.SuccessRate > bestS {
 					bestS, best = r.Stats.SuccessRate, d

@@ -18,14 +18,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"qfarith/internal/arith"
+	"qfarith/internal/backend"
 	"qfarith/internal/experiment"
 	"qfarith/internal/metrics"
 	"qfarith/internal/noise"
@@ -122,6 +126,40 @@ type sweepFlags struct {
 	rates2q   []float64
 	axes      []experiment.ErrorAxis
 	orderSets [][2]int
+	backend   string
+	workers   int
+}
+
+// runner builds the shared execution runner the sweep submits to: the
+// selected backend behind one bounded worker pool.
+func (sf sweepFlags) runner() *backend.Runner {
+	return newRunnerOrExit(sf.backend, sf.workers)
+}
+
+func newRunnerOrExit(backendName string, workers int) *backend.Runner {
+	b, err := backend.New(backendName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	return backend.NewRunner(b, workers)
+}
+
+// sweepContext returns a context cancelled by Ctrl-C / SIGTERM, so a
+// long sweep stops mid-grid cleanly instead of being killed.
+func sweepContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt)
+}
+
+// exitSweepErr reports a sweep error; interruption exits with the
+// conventional 130 status.
+func exitSweepErr(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "interrupted — sweep cancelled mid-grid, partial results discarded")
+		os.Exit(130)
+	}
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }
 
 func parseSweepFlags(args []string, name string) sweepFlags {
@@ -135,6 +173,9 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 	axis := fs.String("axis", "both", "1q|2q|both")
 	orders := fs.String("orders", "1:1,1:2,2:2", "comma-separated operand orders")
 	rates := fs.String("rates", "", "override error-rate grid, comma-separated percentages (e.g. 1,2,3,5)")
+	backendName := fs.String("backend", backend.DefaultName,
+		"execution backend: "+strings.Join(backend.Names(), "|"))
+	workers := fs.Int("workers", 0, "worker-pool size shared across points and instances (0 = GOMAXPROCS)")
 	fs.Parse(args)
 
 	var b experiment.Budget
@@ -159,8 +200,10 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 		b.Trajectories = *traj
 	}
 
+	b.Workers = *workers
 	sf := sweepFlags{budget: b, outDir: *out, seed: *seed,
-		rates1q: experiment.PaperRates1Q, rates2q: experiment.PaperRates2Q}
+		rates1q: experiment.PaperRates1Q, rates2q: experiment.PaperRates2Q,
+		backend: *backendName, workers: *workers}
 	if *rates != "" {
 		var grid []float64
 		for _, tok := range strings.Split(*rates, ",") {
@@ -201,6 +244,10 @@ func runFigure(args []string, geo experiment.Geometry, depths []int, name string
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	ctx, stop := sweepContext()
+	defer stop()
+	runner := sf.runner()
+	fmt.Printf("backend=%s workers=%d\n", runner.Backend().Name(), runner.Workers())
 	start := time.Now()
 	for _, orders := range sf.orderSets {
 		for _, axis := range sf.axes {
@@ -216,12 +263,15 @@ func runFigure(args []string, geo experiment.Geometry, depths []int, name string
 			}
 			label := fmt.Sprintf("%s_%s_%d%d", name, axis, orders[0], orders[1])
 			fmt.Printf("== panel %s (%d rates x %d depths) ==\n", label, len(rates), len(depths))
-			res := experiment.RunPanel(pc, func(done, total int, r experiment.PointResult) {
+			res, err := experiment.RunPanelCtx(ctx, runner, pc, func(done, total int, r experiment.PointResult) {
 				fmt.Printf("  [%s %3d/%d] rate=%.2f%% d=%-4s -> %.1f%% success (elapsed %s)\n",
 					label, done, total, pointRate(r)*100,
 					experiment.DepthLabel(r.Config.Depth, 8),
 					r.Stats.SuccessRate, time.Since(start).Round(time.Second))
 			})
+			if err != nil {
+				exitSweepErr(err)
+			}
 			path := filepath.Join(sf.outDir, label+".csv")
 			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -231,6 +281,8 @@ func runFigure(args []string, geo experiment.Geometry, depths []int, name string
 			fmt.Println(res.Plot())
 		}
 	}
+	hits, misses := runner.Cache().Stats()
+	fmt.Printf("transpile cache: %d built, %d reused\n", misses, hits)
 	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Second))
 }
 
@@ -249,6 +301,9 @@ func pointRate(r experiment.PointResult) float64 {
 // improved rate (0.7%).
 func runClaim2Q(args []string) {
 	sf := parseSweepFlags(args, "claim-2q")
+	ctx, stop := sweepContext()
+	defer stop()
+	runner := sf.runner()
 	geo := experiment.PaperAddGeometry()
 	rates := []float64{0.007, 0.010}
 	fmt.Println("E4 — superposition-order penalty vs 2q error rate (QFA n=8)")
@@ -259,7 +314,10 @@ func runClaim2Q(args []string) {
 			Rates: rates, Depths: experiment.AddDepths,
 			Budget: sf.budget, Seed: sf.seed,
 		}
-		res := experiment.RunPanel(pc, nil)
+		res, err := experiment.RunPanelCtx(ctx, runner, pc, nil)
+		if err != nil {
+			exitSweepErr(err)
+		}
 		for i, rate := range rates {
 			best := 0.0
 			bestD := 0
@@ -282,6 +340,9 @@ func runClaim2Q(args []string) {
 // current-hardware noise point.
 func runAblateAddCut(args []string) {
 	sf := parseSweepFlags(args, "ablate-addcut")
+	ctx, stop := sweepContext()
+	defer stop()
+	runner := sf.runner()
 	geo := experiment.PaperAddGeometry()
 	fmt.Println("E6 — approximate addition-step ablation (QFA n=8, full AQFT, 2:2)")
 	fmt.Printf("%-10s %12s %12s %12s\n", "addCut", "2q gates", "success@0%", "success@1%2q")
@@ -301,7 +362,10 @@ func runAblateAddCut(args []string) {
 				Trajectories: sf.budget.Trajectories,
 				RowSeed:      splitMix(sf.seed, 0x22), PointSeed: splitMix(sf.seed, uint64(cut)<<8|uint64(i)),
 			}
-			r := experiment.RunPointCfg(pc, acfg)
+			r, err := experiment.RunPointCfgCtx(ctx, runner, pc, acfg)
+			if err != nil {
+				exitSweepErr(err)
+			}
 			succ[i] = r.Stats.SuccessRate
 			twoQ = r.Paper2q
 		}

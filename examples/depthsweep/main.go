@@ -65,7 +65,8 @@ func successRate(depth int, p2 float64) float64 {
 			qfarith.WithDepth(depth),
 			qfarith.WithNoise(0, p2),
 			qfarith.WithShots(shots),
-			qfarith.WithTrajectories(24))
+			qfarith.WithTrajectories(24),
+			qfarith.WithBackend("trajectory"))
 		if res.Success {
 			wins++
 		}

@@ -1,0 +1,146 @@
+// Package backend is the unified execution layer: it owns how a single
+// prepared circuit execution ("point spec") is evaluated under noise,
+// behind a pluggable Backend interface. Two implementations ship:
+//
+//   - TrajectoryBackend — the stratified Pauli-trajectory mixture engine
+//     (internal/noise), the default and the only choice at large widths;
+//   - DensityBackend — exact density-matrix channel evolution
+//     (internal/density), quadratically more expensive but Monte-Carlo
+//     free, usable as ground truth at small register widths.
+//
+// The package also provides a Runner (one bounded worker pool shared
+// across every parallelism level of a sweep, with context cancellation)
+// and a TranspileCache (build each distinct circuit once per process).
+// Higher layers — internal/experiment, cmd/qfarith, the examples — pick
+// a backend by name and submit work through a Runner; future scaling
+// work (sharding, remote workers, batching) plugs in as new Backend
+// implementations without touching the experiment layer.
+package backend
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"qfarith/internal/noise"
+	"qfarith/internal/transpile"
+)
+
+// Distribution is a measurement probability distribution over the
+// outcomes of a measured register (index = outcome value).
+type Distribution []float64
+
+// PointSpec describes one circuit execution: a transpiled circuit, the
+// noise model attached to its native gates, the prepared input state,
+// and which qubits are measured. It is the unit of work a Backend
+// evaluates; the experiment layer submits one PointSpec per operand
+// instance of a plotted point.
+type PointSpec struct {
+	// Circuit is the transpiled circuit to execute. Backends treat it as
+	// immutable, so specs sharing a cached *transpile.Result are safe to
+	// run concurrently.
+	Circuit *transpile.Result
+	// Model is the depolarizing gate-noise model.
+	Model noise.Model
+	// Initial holds the prepared input amplitudes (length 2^NumQubits).
+	// nil means the all-zeros basis state.
+	Initial []complex128
+	// Measure lists the measured qubits, LSB first. The returned
+	// Distribution has length 2^len(Measure).
+	Measure []int
+	// Trajectories bounds the Monte Carlo effort of stochastic backends;
+	// exact backends ignore it.
+	Trajectories int
+	// Seed1, Seed2 seed the RNG of stochastic backends (two-word PCG
+	// seed); exact backends ignore them.
+	Seed1, Seed2 uint64
+}
+
+// validate rejects malformed specs with a descriptive error.
+func (s PointSpec) validate() error {
+	if s.Circuit == nil {
+		return fmt.Errorf("backend: PointSpec.Circuit is nil")
+	}
+	if len(s.Measure) == 0 {
+		return fmt.Errorf("backend: PointSpec.Measure is empty")
+	}
+	if s.Initial != nil && len(s.Initial) != 1<<uint(s.Circuit.NumQubits) {
+		return fmt.Errorf("backend: initial state has %d amplitudes, circuit has %d qubits",
+			len(s.Initial), s.Circuit.NumQubits)
+	}
+	return nil
+}
+
+// Diagnostics reports execution metadata alongside a distribution.
+type Diagnostics struct {
+	// Backend is the name of the backend that produced the result.
+	Backend string
+	// NoErrorProb is w0, the probability that a shot sees no error
+	// anywhere in the circuit under the spec's model.
+	NoErrorProb float64
+	// ExpectedErrors is the mean number of error events per shot.
+	ExpectedErrors float64
+	// Ideal is the error-free reference distribution (for fidelity
+	// diagnostics), when the backend computes it as a by-product.
+	Ideal Distribution
+}
+
+// Backend evaluates point specs. Implementations must be safe for
+// concurrent Run calls: the Runner dispatches many specs onto one
+// backend from multiple worker goroutines.
+type Backend interface {
+	// Name returns the registry name of the backend.
+	Name() string
+	// Run evaluates spec and returns the measured register's output
+	// distribution. It honors ctx cancellation between units of work and
+	// returns ctx.Err() if cancelled.
+	Run(ctx context.Context, spec PointSpec) (Distribution, Diagnostics, error)
+}
+
+// DefaultName is the backend used when no name is given: the trajectory
+// mixture engine, which reproduces the paper's figures.
+const DefaultName = "trajectory"
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]func() Backend{
+		"trajectory": func() Backend { return NewTrajectoryBackend() },
+		"density":    func() Backend { return NewDensityBackend() },
+	}
+)
+
+// Register adds a backend constructor under name, replacing any
+// previous registration. Each New call invokes the constructor, so
+// backends may carry per-instance caches.
+func Register(name string, factory func() Backend) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[name] = factory
+}
+
+// New constructs the named backend ("" selects DefaultName).
+func New(name string) (Backend, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	registryMu.RLock()
+	factory, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown backend %q (have %v)", name, Names())
+	}
+	return factory(), nil
+}
+
+// Names lists the registered backend names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

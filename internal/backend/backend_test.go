@@ -1,0 +1,170 @@
+package backend_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"qfarith/internal/backend"
+	"qfarith/internal/experiment"
+	"qfarith/internal/noise"
+	"qfarith/internal/qft"
+)
+
+// smallSpec builds a 5-qubit 2+3 adder instance spec: small enough for
+// exact density evolution, noisy enough to exercise every path.
+func smallSpec(trajectories int) backend.PointSpec {
+	geo := experiment.AddGeometry(2, 3)
+	res := geo.BuildCircuit(qft.Full)
+	initial := make([]complex128, 1<<uint(geo.TotalQubits))
+	// 1:2 instance — x = 2, y ∈ {1, 6}.
+	initial[2|1<<2] = complex(1/math.Sqrt2, 0)
+	initial[2|6<<2] = complex(1/math.Sqrt2, 0)
+	return backend.PointSpec{
+		Circuit:      res,
+		Model:        noise.PaperModel(0.004, 0.02),
+		Initial:      initial,
+		Measure:      geo.OutReg,
+		Trajectories: trajectories,
+		Seed1:        101, Seed2: 202,
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := backend.Names()
+	if len(names) < 2 {
+		t.Fatalf("Names() = %v, want at least trajectory and density", names)
+	}
+	for _, name := range names {
+		b, err := backend.New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if b.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, b.Name())
+		}
+	}
+	if b, err := backend.New(""); err != nil || b.Name() != backend.DefaultName {
+		t.Errorf("New(\"\") = %v, %v; want default backend", b, err)
+	}
+	if _, err := backend.New("no-such-backend"); err == nil {
+		t.Error("New(unknown) succeeded, want error")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	b := backend.NewTrajectoryBackend()
+	ctx := context.Background()
+	if _, _, err := b.Run(ctx, backend.PointSpec{}); err == nil {
+		t.Error("nil circuit accepted")
+	}
+	spec := smallSpec(1)
+	spec.Measure = nil
+	if _, _, err := b.Run(ctx, spec); err == nil {
+		t.Error("empty measure register accepted")
+	}
+	spec = smallSpec(1)
+	spec.Initial = spec.Initial[:4]
+	if _, _, err := b.Run(ctx, spec); err == nil {
+		t.Error("wrong-length initial state accepted")
+	}
+}
+
+func TestTrajectoryDeterministicAcrossRuns(t *testing.T) {
+	spec := smallSpec(32)
+	b := backend.NewTrajectoryBackend()
+	d1, g1, err := b.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh backend (empty engine cache) must reproduce the identical
+	// distribution from the same seeds.
+	d2, g2, err := backend.NewTrajectoryBackend().Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("distributions differ at %d: %g vs %g", i, d1[i], d2[i])
+		}
+	}
+	if g1.NoErrorProb != g2.NoErrorProb || g1.ExpectedErrors != g2.ExpectedErrors {
+		t.Errorf("diagnostics differ: %+v vs %+v", g1, g2)
+	}
+}
+
+func TestDensityRejectsWideCircuits(t *testing.T) {
+	geo := experiment.PaperAddGeometry() // 15 qubits
+	spec := backend.PointSpec{
+		Circuit: geo.BuildCircuit(3),
+		Measure: geo.OutReg,
+	}
+	if _, _, err := backend.NewDensityBackend().Run(context.Background(), spec); err == nil {
+		t.Error("density backend accepted a 15-qubit circuit")
+	}
+}
+
+func TestRunHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range backend.Names() {
+		b, _ := backend.New(name)
+		if _, _, err := b.Run(ctx, smallSpec(4)); err != context.Canceled {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// TestDensityMatchesTrajectory cross-validates the two backends: with a
+// large trajectory budget the stratified mixture estimator must agree
+// with exact density-matrix channel evolution — the first executable
+// check of the Monte Carlo estimator against ground truth. The total
+// variation distance shrinks as (1-w0)/sqrt(K); at K = 6000 and
+// 1-w0 ≈ 0.5 the tolerance below sits several sigma out.
+func TestDensityMatchesTrajectory(t *testing.T) {
+	const trajectories = 6000
+	spec := smallSpec(trajectories)
+
+	exact, dDiag, err := backend.NewDensityBackend().Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, tDiag, err := backend.NewTrajectoryBackend().Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both distributions normalize.
+	for name, d := range map[string]backend.Distribution{"density": exact, "trajectory": est} {
+		var sum float64
+		for _, p := range d {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s distribution sums to %g", name, sum)
+		}
+	}
+
+	// Shared diagnostics agree exactly (both derive from the same
+	// per-gate error bookkeeping).
+	if math.Abs(dDiag.NoErrorProb-tDiag.NoErrorProb) > 1e-12 {
+		t.Errorf("w0 disagrees: %g vs %g", dDiag.NoErrorProb, tDiag.NoErrorProb)
+	}
+
+	var tv float64
+	for i := range exact {
+		tv += math.Abs(exact[i] - est[i])
+	}
+	tv /= 2
+	if tv > 0.02 {
+		t.Errorf("total variation distance %g between exact and estimated output, want <= 0.02", tv)
+	}
+
+	// The ideal (error-free) strata must agree to numerical precision —
+	// both are deterministic statevector evolutions.
+	for i := range dDiag.Ideal {
+		if math.Abs(dDiag.Ideal[i]-tDiag.Ideal[i]) > 1e-9 {
+			t.Fatalf("ideal distributions differ at %d: %g vs %g", i, dDiag.Ideal[i], tDiag.Ideal[i])
+		}
+	}
+}

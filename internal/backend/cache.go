@@ -1,0 +1,70 @@
+package backend
+
+import (
+	"sync"
+
+	"qfarith/internal/transpile"
+)
+
+// CircuitKey identifies one transpiled circuit inside a TranspileCache:
+// the circuit family plus every parameter that shapes its gate list. A
+// figure panel revisits the identical (geometry, depth, arithmetic
+// config) circuit once per error rate — the noise model varies but the
+// circuit does not — so caching on this key removes all repeat
+// transpilation from a sweep.
+type CircuitKey struct {
+	// Family names the circuit construction ("qfa", "qfm", ...).
+	Family string
+	// XBits, YBits are the operand register widths.
+	XBits, YBits int
+	// Depth is the AQFT approximation depth.
+	Depth int
+	// AddCut is the addition-step rotation cutoff (arith.Config.AddCut).
+	AddCut int
+}
+
+// TranspileCache memoizes transpiled circuits by CircuitKey. It is safe
+// for concurrent use; the returned *transpile.Result is shared and must
+// be treated as immutable (every consumer in this codebase already
+// does).
+type TranspileCache struct {
+	mu     sync.Mutex
+	m      map[CircuitKey]*transpile.Result
+	hits   int
+	misses int
+}
+
+// NewTranspileCache returns an empty cache.
+func NewTranspileCache() *TranspileCache {
+	return &TranspileCache{m: make(map[CircuitKey]*transpile.Result)}
+}
+
+// Get returns the cached circuit for key, calling build to construct it
+// on the first request. Concurrent Gets for the same key build at most
+// once; build must be pure (same key → same circuit).
+func (c *TranspileCache) Get(key CircuitKey, build func() *transpile.Result) *transpile.Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if res, ok := c.m[key]; ok {
+		c.hits++
+		return res
+	}
+	c.misses++
+	res := build()
+	c.m[key] = res
+	return res
+}
+
+// Stats reports the cache's hit and miss counts.
+func (c *TranspileCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns how many circuits the cache holds.
+func (c *TranspileCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

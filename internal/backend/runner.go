@@ -1,0 +1,107 @@
+package backend
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Runner executes point specs on a Backend through one bounded worker
+// pool. The pool is shared across every parallelism level that feeds
+// it: a panel sweep fans out over grid points, each point fans out over
+// operand instances, and all leaf tasks draw from the same slot budget,
+// so total concurrent compute never exceeds Workers regardless of
+// nesting. Coordinator goroutines (a panel waiting on its points, a
+// point waiting on its instances) hold no slot while they wait, which
+// makes arbitrary nesting deadlock-free.
+//
+// Cancellation: every Do call watches its context; cancelling stops new
+// tasks from being scheduled and returns ctx.Err() once in-flight tasks
+// drain.
+type Runner struct {
+	backend Backend
+	slots   chan struct{}
+	cache   *TranspileCache
+}
+
+// NewRunner returns a Runner over b with the given worker-pool size
+// (workers <= 0 selects GOMAXPROCS) and a fresh transpile cache.
+func NewRunner(b Backend, workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		backend: b,
+		slots:   make(chan struct{}, workers),
+		cache:   NewTranspileCache(),
+	}
+}
+
+// Backend returns the runner's backend.
+func (r *Runner) Backend() Backend { return r.backend }
+
+// Workers returns the worker-pool capacity.
+func (r *Runner) Workers() int { return cap(r.slots) }
+
+// Cache returns the runner's transpile cache.
+func (r *Runner) Cache() *TranspileCache { return r.cache }
+
+// Run submits one spec to the backend through the pool: it acquires a
+// worker slot (or returns early on cancellation), runs the spec, and
+// releases the slot.
+func (r *Runner) Run(ctx context.Context, spec PointSpec) (Distribution, Diagnostics, error) {
+	select {
+	case <-ctx.Done():
+		return nil, Diagnostics{}, ctx.Err()
+	case r.slots <- struct{}{}:
+	}
+	defer func() { <-r.slots }()
+	return r.backend.Run(ctx, spec)
+}
+
+// Do runs fn(0..n-1) on the shared pool and waits for completion. Each
+// invocation occupies one worker slot for its duration, so fn should be
+// leaf compute (an instance simulation), not a coordinator that itself
+// calls Do — coordinators should be plain goroutines. The first non-nil
+// error (or ctx.Err() on cancellation) stops further scheduling and is
+// returned after in-flight calls finish.
+func (r *Runner) Do(ctx context.Context, n int, fn func(idx int) error) error {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	for i := 0; i < n && !failed(); i++ {
+		select {
+		case <-ctx.Done():
+			setErr(ctx.Err())
+		case r.slots <- struct{}{}:
+			wg.Add(1)
+			go func(idx int) {
+				defer wg.Done()
+				defer func() { <-r.slots }()
+				if err := fn(idx); err != nil {
+					setErr(err)
+				}
+			}(i)
+			continue
+		}
+		break
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
+}

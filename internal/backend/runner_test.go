@@ -1,0 +1,208 @@
+package backend_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qfarith/internal/backend"
+	"qfarith/internal/experiment"
+	"qfarith/internal/qft"
+	"qfarith/internal/transpile"
+)
+
+func TestRunnerDoBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	r := backend.NewRunner(backend.NewTrajectoryBackend(), workers)
+	var cur, peak int64
+	err := r.Do(context.Background(), 20, func(int) error {
+		n := atomic.AddInt64(&cur, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt64(&cur, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Errorf("observed %d concurrent tasks, pool capacity %d", peak, workers)
+	}
+}
+
+func TestRunnerDoRunsEveryIndexOnce(t *testing.T) {
+	r := backend.NewRunner(backend.NewTrajectoryBackend(), 4)
+	const n = 50
+	counts := make([]int64, n)
+	if err := r.Do(context.Background(), n, func(i int) error {
+		atomic.AddInt64(&counts[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestRunnerDoPropagatesFirstError(t *testing.T) {
+	r := backend.NewRunner(backend.NewTrajectoryBackend(), 2)
+	boom := errors.New("boom")
+	var ran int64
+	err := r.Do(context.Background(), 100, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran == 100 {
+		t.Log("note: all tasks ran before the error was observed (possible but unlikely)")
+	}
+}
+
+func TestRunnerDoCancellation(t *testing.T) {
+	r := backend.NewRunner(backend.NewTrajectoryBackend(), 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int64
+	done := make(chan error, 1)
+	go func() {
+		done <- r.Do(ctx, 1000, func(int) error {
+			if atomic.AddInt64(&ran, 1) == 2 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Do did not return after cancellation — deadlock")
+	}
+	if got := atomic.LoadInt64(&ran); got >= 1000 {
+		t.Errorf("all %d tasks ran despite cancellation", got)
+	}
+}
+
+// TestRunnerNestedCoordinatorsNoDeadlock models the panel structure:
+// many coordinator goroutines each Do-ing leaf tasks on one shared
+// pool smaller than the coordinator count. Coordinators hold no slots,
+// so this must complete.
+func TestRunnerNestedCoordinatorsNoDeadlock(t *testing.T) {
+	r := backend.NewRunner(backend.NewTrajectoryBackend(), 2)
+	const coordinators = 16
+	var total int64
+	var wg sync.WaitGroup
+	errs := make(chan error, coordinators)
+	for c := 0; c < coordinators; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- r.Do(context.Background(), 5, func(int) error {
+				atomic.AddInt64(&total, 1)
+				return nil
+			})
+		}()
+	}
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested coordinators deadlocked on the shared pool")
+	}
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != coordinators*5 {
+		t.Errorf("ran %d leaf tasks, want %d", total, coordinators*5)
+	}
+}
+
+func TestRunnerRunRespectsCancelledContext(t *testing.T) {
+	r := backend.NewRunner(backend.NewTrajectoryBackend(), 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := r.Run(ctx, smallSpec(2)); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestTranspileCache(t *testing.T) {
+	cache := backend.NewTranspileCache()
+	geo := experiment.AddGeometry(2, 3)
+	builds := 0
+	key := backend.CircuitKey{Family: "qfa", XBits: 2, YBits: 3, Depth: 2, AddCut: 99}
+	build := func() *transpile.Result {
+		builds++
+		return geo.BuildCircuit(2)
+	}
+	a := cache.Get(key, build)
+	b := cache.Get(key, build)
+	if a != b {
+		t.Error("cache returned distinct results for one key")
+	}
+	if builds != 1 {
+		t.Errorf("build ran %d times, want 1", builds)
+	}
+	other := key
+	other.Depth = qft.Full
+	if c := cache.Get(other, func() *transpile.Result { return geo.BuildCircuit(qft.Full) }); c == a {
+		t.Error("distinct keys shared a cache entry")
+	}
+	hits, misses := cache.Stats()
+	if hits != 1 || misses != 2 {
+		t.Errorf("stats = (%d hits, %d misses), want (1, 2)", hits, misses)
+	}
+	if cache.Len() != 2 {
+		t.Errorf("Len = %d, want 2", cache.Len())
+	}
+}
+
+func TestTranspileCacheConcurrentSingleBuild(t *testing.T) {
+	cache := backend.NewTranspileCache()
+	geo := experiment.AddGeometry(2, 3)
+	var builds int64
+	key := backend.CircuitKey{Family: "qfa", XBits: 2, YBits: 3, Depth: qft.Full}
+	var wg sync.WaitGroup
+	results := make([]*transpile.Result, 32)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = cache.Get(key, func() *transpile.Result {
+				atomic.AddInt64(&builds, 1)
+				return geo.BuildCircuit(qft.Full)
+			})
+		}(i)
+	}
+	wg.Wait()
+	if builds != 1 {
+		t.Errorf("concurrent Gets built %d times, want 1", builds)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent Gets returned distinct circuits")
+		}
+	}
+}

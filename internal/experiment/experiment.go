@@ -7,12 +7,13 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
-	"runtime"
 	"sync"
 
 	"qfarith/internal/arith"
+	"qfarith/internal/backend"
 	"qfarith/internal/metrics"
 	"qfarith/internal/noise"
 	"qfarith/internal/sim"
@@ -204,76 +205,121 @@ func (cfg PointConfig) correctSet(xs, ys []int) map[int]bool {
 	return metrics.CorrectProducts(xs, ys, cfg.Geometry.OutBits)
 }
 
+// mixtureSeed2 is the fixed second PCG seed word of the per-instance
+// trajectory RNG (the first word chains PointSeed with the instance
+// index). It predates the backend layer; keeping it preserves
+// bit-identical default-backend output across the refactor.
+const mixtureSeed2 = 0xda3e39cb94b95bdb
+
+// cacheKey identifies the point's circuit inside a transpile cache.
+func (g Geometry) cacheKey(acfg arith.Config) backend.CircuitKey {
+	return backend.CircuitKey{
+		Family: g.Op.String(),
+		XBits:  g.XBits, YBits: g.YBits,
+		Depth: acfg.Depth, AddCut: acfg.AddCut,
+	}
+}
+
+// defaultRunner builds a single-use trajectory runner for the legacy
+// (context-free) entry points.
+func defaultRunner(workers int) *backend.Runner {
+	return backend.NewRunner(backend.NewTrajectoryBackend(), workers)
+}
+
 // RunPoint simulates every instance of one point and aggregates the
-// paper's statistics. Instances run in parallel across Workers.
+// paper's statistics, on a private trajectory-backend runner with
+// cfg.Workers slots. Sweeps should prefer RunPointCtx with a shared
+// Runner, which adds cancellation, backend selection, and transpile
+// caching across points.
 func RunPoint(cfg PointConfig) PointResult {
-	res := cfg.Geometry.BuildCircuit(cfg.Depth)
-	return runPointOn(cfg, res)
+	r, err := RunPointCtx(context.Background(), defaultRunner(cfg.Workers), cfg)
+	if err != nil {
+		// Unreachable for the trajectory backend with a background
+		// context; fail loudly rather than return a zero result.
+		panic("experiment: " + err.Error())
+	}
+	return r
 }
 
 // RunPointCfg is RunPoint with an explicit arithmetic config (ablations).
 func RunPointCfg(cfg PointConfig, acfg arith.Config) PointResult {
-	res := cfg.Geometry.BuildCircuitCfg(acfg)
-	return runPointOn(cfg, res)
+	r, err := RunPointCfgCtx(context.Background(), defaultRunner(cfg.Workers), cfg, acfg)
+	if err != nil {
+		panic("experiment: " + err.Error())
+	}
+	return r
 }
 
-func runPointOn(cfg PointConfig, res *transpile.Result) PointResult {
-	engine := noise.NewEngine(res, cfg.Model)
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Instances {
-		workers = cfg.Instances
-	}
+// RunPointCtx simulates one plotted point on the given runner: the
+// point's operand instances are submitted to the runner's shared worker
+// pool and evaluated by its backend. Cancelling ctx stops scheduling
+// further instances and returns ctx.Err().
+func RunPointCtx(ctx context.Context, r *backend.Runner, cfg PointConfig) (PointResult, error) {
+	return RunPointCfgCtx(ctx, r, cfg, arith.Config{Depth: cfg.Depth, AddCut: arith.FullAdd})
+}
+
+// RunPointCfgCtx is RunPointCtx with an explicit arithmetic config.
+func RunPointCfgCtx(ctx context.Context, r *backend.Runner, cfg PointConfig, acfg arith.Config) (PointResult, error) {
+	res := r.Cache().Get(cfg.Geometry.cacheKey(acfg), func() *transpile.Result {
+		return cfg.Geometry.BuildCircuitCfg(acfg)
+	})
+	return runPointOn(ctx, r, cfg, res)
+}
+
+func runPointOn(ctx context.Context, r *backend.Runner, cfg PointConfig, res *transpile.Result) (PointResult, error) {
 	results := make([]metrics.InstanceResult, cfg.Instances)
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			st := sim.NewState(cfg.Geometry.TotalQubits)
-			initial := make([]complex128, st.Dim())
-			dist := make([]float64, 1<<uint(cfg.Geometry.OutBits))
-			ideal := make([]float64, 1<<uint(cfg.Geometry.OutBits))
-			for idx := range next {
-				results[idx] = cfg.runInstance(engine, st, initial, dist, ideal, idx)
-			}
-		}()
+	var (
+		diagOnce sync.Once
+		diag     backend.Diagnostics
+	)
+	err := r.Do(ctx, cfg.Instances, func(idx int) error {
+		ir, d, err := cfg.runInstance(ctx, r.Backend(), res, idx)
+		if err != nil {
+			return err
+		}
+		results[idx] = ir
+		diagOnce.Do(func() { diag = d })
+		return nil
+	})
+	if err != nil {
+		return PointResult{}, err
 	}
-	for i := 0; i < cfg.Instances; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 
 	one, two := res.CountByArity()
 	p1, p2 := transpile.PaperCounts(srcCircuit(res))
 	return PointResult{
 		Config:         cfg,
 		Stats:          metrics.Aggregate(results),
-		NoErrorProb:    engine.NoErrorProb(),
-		ExpectedErrors: engine.ExpectedErrors(),
+		NoErrorProb:    diag.NoErrorProb,
+		ExpectedErrors: diag.ExpectedErrors,
 		Native1q:       one,
 		Native2q:       two,
 		Paper1q:        p1,
 		Paper2q:        p2,
-	}
+	}, nil
 }
 
-func (cfg PointConfig) runInstance(engine *noise.Engine, st *sim.State, initial []complex128, dist, ideal []float64, idx int) metrics.InstanceResult {
+// runInstance evaluates one operand instance through the backend and
+// scores the sampled shots with the paper's metric.
+func (cfg PointConfig) runInstance(ctx context.Context, b backend.Backend, res *transpile.Result, idx int) (metrics.InstanceResult, backend.Diagnostics, error) {
 	xs, ys := cfg.instanceOperands(idx)
+	initial := make([]complex128, 1<<uint(cfg.Geometry.TotalQubits))
 	cfg.initialAmps(initial, xs, ys)
-	rng := rand.New(rand.NewPCG(splitSeed(cfg.PointSeed, uint64(idx)), 0xda3e39cb94b95bdb))
-	engine.MixtureInto(dist, st, initial, noise.MixtureOpts{
-		Trajectories: cfg.Trajectories,
+	dist, diag, err := b.Run(ctx, backend.PointSpec{
+		Circuit:      res,
+		Model:        cfg.Model,
+		Initial:      initial,
 		Measure:      cfg.Geometry.OutReg,
-		IdealOut:     ideal,
-	}, rng)
+		Trajectories: cfg.Trajectories,
+		Seed1:        splitSeed(cfg.PointSeed, uint64(idx)),
+		Seed2:        mixtureSeed2,
+	})
+	if err != nil {
+		return metrics.InstanceResult{}, backend.Diagnostics{}, err
+	}
 	sampler := sim.NewSampler(splitSeed(cfg.PointSeed, uint64(idx)^0xabcdef), uint64(idx))
 	counts := sampler.Counts(dist, cfg.Shots)
-	res := metrics.Score(counts, cfg.correctSet(xs, ys))
-	res.Fidelity = metrics.ClassicalFidelity(ideal, dist)
-	return res
+	ir := metrics.Score(counts, cfg.correctSet(xs, ys))
+	ir.Fidelity = metrics.ClassicalFidelity(diag.Ideal, dist)
+	return ir, diag, nil
 }

@@ -1,11 +1,11 @@
 package experiment
 
 import (
-	"math/rand/v2"
+	"context"
 
+	"qfarith/internal/backend"
 	"qfarith/internal/layout"
 	"qfarith/internal/metrics"
-	"qfarith/internal/noise"
 	"qfarith/internal/sim"
 	"qfarith/internal/transpile"
 )
@@ -20,6 +20,17 @@ import (
 // The measured register follows the router's final layout, so the
 // metric scores exactly the same logical outcome as the unrouted run.
 func RunRoutedPoint(cfg PointConfig, cm *layout.CouplingMap) PointResult {
+	r, err := RunRoutedPointCtx(context.Background(), defaultRunner(cfg.Workers), cfg, cm)
+	if err != nil {
+		panic("experiment: " + err.Error())
+	}
+	return r
+}
+
+// RunRoutedPointCtx is RunRoutedPoint on a shared runner: routing and
+// compaction happen once, then each operand instance is dispatched to
+// the runner's backend through its bounded pool.
+func RunRoutedPointCtx(ctx context.Context, r *backend.Runner, cfg PointConfig, cm *layout.CouplingMap) (PointResult, error) {
 	if cfg.Geometry.Op != OpAdd {
 		panic("experiment: routed points support addition only")
 	}
@@ -55,9 +66,8 @@ func RunRoutedPoint(cfg PointConfig, cm *layout.CouplingMap) PointResult {
 		initLayout[l] = compact[p]
 	}
 
-	// The routed circuit is already native; re-wrap it for the engine.
+	// The routed circuit is already native; re-wrap it for the backend.
 	rres := transpile.Transpile(circ)
-	engine := noise.NewEngine(rres, cfg.Model)
 
 	// Physical measurement register: logical OutReg qubits at their
 	// final physical homes.
@@ -67,36 +77,46 @@ func RunRoutedPoint(cfg PointConfig, cm *layout.CouplingMap) PointResult {
 	}
 
 	results := make([]metrics.InstanceResult, cfg.Instances)
-	st := sim.NewState(nUsed)
-	initial := make([]complex128, st.Dim())
-	dist := make([]float64, 1<<uint(cfg.Geometry.OutBits))
-	ideal := make([]float64, len(dist))
-	logical := make([]complex128, 1<<uint(cfg.Geometry.TotalQubits))
-	for idx := 0; idx < cfg.Instances; idx++ {
+	var diag backend.Diagnostics
+	err := r.Do(ctx, cfg.Instances, func(idx int) error {
 		xs, ys := cfg.instanceOperands(idx)
+		logical := make([]complex128, 1<<uint(cfg.Geometry.TotalQubits))
+		initial := make([]complex128, 1<<uint(nUsed))
 		cfg.initialAmps(logical, xs, ys)
 		embedInitial(initial, logical, initLayout, cfg.Geometry.TotalQubits)
-		rng := rand.New(rand.NewPCG(splitSeed(cfg.PointSeed, uint64(idx)), 0xda3e39cb94b95bdb))
-		engine.MixtureInto(dist, st, initial, noise.MixtureOpts{
-			Trajectories: cfg.Trajectories,
+		dist, d, err := r.Backend().Run(ctx, backend.PointSpec{
+			Circuit:      rres,
+			Model:        cfg.Model,
+			Initial:      initial,
 			Measure:      measure,
-			IdealOut:     ideal,
-		}, rng)
+			Trajectories: cfg.Trajectories,
+			Seed1:        splitSeed(cfg.PointSeed, uint64(idx)),
+			Seed2:        mixtureSeed2,
+		})
+		if err != nil {
+			return err
+		}
 		sampler := sim.NewSampler(splitSeed(cfg.PointSeed, uint64(idx)^0xabcdef), uint64(idx))
 		counts := sampler.Counts(dist, cfg.Shots)
 		results[idx] = metrics.Score(counts, cfg.correctSet(xs, ys))
-		results[idx].Fidelity = metrics.ClassicalFidelity(ideal, dist)
+		results[idx].Fidelity = metrics.ClassicalFidelity(d.Ideal, dist)
+		if idx == 0 {
+			diag = d
+		}
+		return nil
+	})
+	if err != nil {
+		return PointResult{}, err
 	}
-
 	one, two := rres.CountByArity()
 	return PointResult{
 		Config:         cfg,
 		Stats:          metrics.Aggregate(results),
-		NoErrorProb:    engine.NoErrorProb(),
-		ExpectedErrors: engine.ExpectedErrors(),
+		NoErrorProb:    diag.NoErrorProb,
+		ExpectedErrors: diag.ExpectedErrors,
 		Native1q:       one,
 		Native2q:       two,
-	}
+	}, nil
 }
 
 // embedInitial maps a logical amplitude vector onto the (possibly

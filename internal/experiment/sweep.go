@@ -1,9 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"strings"
+	"sync"
 
+	"qfarith/internal/backend"
 	"qfarith/internal/circuit"
 	"qfarith/internal/noise"
 	"qfarith/internal/plot"
@@ -94,52 +98,108 @@ type PanelResult struct {
 	Points [][]PointResult
 }
 
-// RunPanel sweeps all (rate, depth) combinations of a panel. Progress
-// callbacks fire after each completed point when progress is non-nil.
-func RunPanel(cfg PanelConfig, progress func(done, total int, r PointResult)) PanelResult {
-	out := PanelResult{Config: cfg}
-	total := len(cfg.Rates) * len(cfg.Depths)
-	done := 0
-	rowSeed := splitSeed(cfg.Seed, uint64(cfg.OrderX)<<8|uint64(cfg.OrderY))
-	for _, rate := range cfg.Rates {
-		var row []PointResult
-		for _, d := range cfg.Depths {
-			model := noise.Noiseless
-			if rate > 0 {
-				if cfg.Axis == Axis1Q {
-					model = noise.PaperModel(rate, 0)
-				} else {
-					model = noise.PaperModel(0, rate)
-				}
-			}
-			pc := PointConfig{
-				Geometry:     cfg.Geometry,
-				Depth:        d,
-				Model:        model,
-				OrderX:       cfg.OrderX,
-				OrderY:       cfg.OrderY,
-				Instances:    cfg.Budget.Instances,
-				Shots:        cfg.Budget.Shots,
-				Trajectories: cfg.Budget.Trajectories,
-				RowSeed:      rowSeed,
-				PointSeed:    splitSeed(cfg.Seed, hashPoint(cfg.Axis, rate, d, cfg.OrderX, cfg.OrderY)),
-				Workers:      cfg.Budget.Workers,
-			}
-			r := RunPoint(pc)
-			row = append(row, r)
-			done++
-			if progress != nil {
-				progress(done, total, r)
-			}
+// PointAt builds the PointConfig for the grid cell at (rate, depth) —
+// the single source of truth for panel seeds, shared by the sequential
+// and parallel paths.
+func (cfg PanelConfig) PointAt(rate float64, depth int) PointConfig {
+	model := noise.Noiseless
+	if rate > 0 {
+		if cfg.Axis == Axis1Q {
+			model = noise.PaperModel(rate, 0)
+		} else {
+			model = noise.PaperModel(0, rate)
 		}
-		out.Points = append(out.Points, row)
 	}
-	return out
+	return PointConfig{
+		Geometry:     cfg.Geometry,
+		Depth:        depth,
+		Model:        model,
+		OrderX:       cfg.OrderX,
+		OrderY:       cfg.OrderY,
+		Instances:    cfg.Budget.Instances,
+		Shots:        cfg.Budget.Shots,
+		Trajectories: cfg.Budget.Trajectories,
+		RowSeed:      splitSeed(cfg.Seed, uint64(cfg.OrderX)<<8|uint64(cfg.OrderY)),
+		PointSeed:    splitSeed(cfg.Seed, hashPoint(cfg.Axis, rate, depth, cfg.OrderX, cfg.OrderY)),
+		Workers:      cfg.Budget.Workers,
+	}
 }
 
+// RunPanel sweeps all (rate, depth) combinations of a panel on a
+// private trajectory-backend runner. Progress callbacks fire after each
+// completed point when progress is non-nil. Sweeps that want
+// cancellation, backend selection, or a shared worker pool should call
+// RunPanelCtx.
+func RunPanel(cfg PanelConfig, progress func(done, total int, r PointResult)) PanelResult {
+	res, err := RunPanelCtx(context.Background(), defaultRunner(cfg.Budget.Workers), cfg, progress)
+	if err != nil {
+		panic("experiment: " + err.Error())
+	}
+	return res
+}
+
+// RunPanelCtx sweeps all (rate, depth) combinations of a panel on the
+// given runner. Every grid point runs concurrently as a coordinator
+// goroutine whose operand instances draw from the runner's single
+// bounded worker pool, so panel-level and instance-level parallelism
+// share one slot budget. Results land at their (rate, depth) grid
+// index, so output ordering — and therefore CSV bytes — is independent
+// of scheduling. Progress callbacks are serialized; `done` counts
+// completed points in completion order.
+//
+// Cancelling ctx stops the sweep mid-grid: no new instances are
+// scheduled, in-flight instances drain, and ctx.Err() is returned.
+func RunPanelCtx(ctx context.Context, r *backend.Runner, cfg PanelConfig, progress func(done, total int, r PointResult)) (PanelResult, error) {
+	out := PanelResult{Config: cfg, Points: make([][]PointResult, len(cfg.Rates))}
+	for i := range out.Points {
+		out.Points[i] = make([]PointResult, len(cfg.Depths))
+	}
+	total := len(cfg.Rates) * len(cfg.Depths)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		done     int
+		firstErr error
+	)
+	for i, rate := range cfg.Rates {
+		for j, d := range cfg.Depths {
+			wg.Add(1)
+			go func(i, j int, pc PointConfig) {
+				defer wg.Done()
+				pr, err := RunPointCtx(ctx, r, pc)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				out.Points[i][j] = pr
+				done++
+				if progress != nil {
+					progress(done, total, pr)
+				}
+			}(i, j, cfg.PointAt(rate, d))
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return PanelResult{}, firstErr
+	}
+	return out, nil
+}
+
+// hashPoint derives a point-seed discriminator from the sweep
+// coordinates by chaining splitSeed over each field. The previous
+// shift-packed XOR (uint64(rate*1e7) folded into depth/order bits) could
+// collide for nearby grid points; chaining a SplitMix64 round per field
+// decorrelates every coordinate.
 func hashPoint(axis ErrorAxis, rate float64, depth, ox, oy int) uint64 {
-	h := uint64(axis)<<60 | uint64(depth)<<40 | uint64(ox)<<32 | uint64(oy)<<24
-	return h ^ uint64(rate*1e7)
+	h := splitSeed(uint64(axis), math.Float64bits(rate))
+	h = splitSeed(h, uint64(depth))
+	h = splitSeed(h, uint64(ox))
+	return splitSeed(h, uint64(oy))
 }
 
 // DepthLabel renders a depth for tables/legends ("full" for qft.Full).

@@ -19,9 +19,11 @@
 package qfarith
 
 import (
+	"context"
 	"fmt"
 
 	"qfarith/internal/arith"
+	"qfarith/internal/backend"
 	"qfarith/internal/experiment"
 	"qfarith/internal/metrics"
 	"qfarith/internal/noise"
@@ -70,6 +72,11 @@ type Options struct {
 	Trajectories int
 	// Seed makes the run reproducible (default 1).
 	Seed uint64
+	// Backend selects an execution backend from internal/backend's
+	// registry ("trajectory", "density"). Empty keeps the legacy inline
+	// trajectory path, which predates the backend layer and whose RNG
+	// stream existing callers may depend on.
+	Backend string
 }
 
 // Option mutates Options.
@@ -99,6 +106,15 @@ func WithHardwareRZ() Option {
 	f := false
 	return func(o *Options) { o.NoiseOnRZ = &f }
 }
+
+// WithBackend routes execution through the named pluggable backend:
+// "trajectory" for the stratified Pauli-trajectory mixture engine,
+// "density" for exact density-matrix channel evolution (registers up to
+// 10 qubits). Panics on an unknown name, like the other construction
+// errors of this facade. Note the trajectory backend draws its shot
+// samples from a stream independent of the mixture RNG, so results
+// differ bit-wise (not statistically) from the default inline path.
+func WithBackend(name string) Option { return func(o *Options) { o.Backend = name } }
 
 func buildOptions(opts []Option) Options {
 	o := Options{Depth: FullDepth, Shots: 2048, Trajectories: 64, Seed: 1}
@@ -207,14 +223,39 @@ func newSubCircuit(geo experiment.Geometry, depth int) *circuitAlias {
 }
 
 func runResult(o Options, geo experiment.Geometry, res *transpile.Result, initial []complex128, expected map[int]bool) Result {
-	engine := noise.NewEngine(res, o.model())
-	st := sim.NewState(geo.TotalQubits)
-	dist := make([]float64, 1<<uint(geo.OutBits))
-	sampler := sim.NewSampler(o.Seed, o.Seed^0x6a09e667f3bcc909)
-	engine.MixtureInto(dist, st, initial, noise.MixtureOpts{
-		Trajectories: o.Trajectories,
-		Measure:      geo.OutReg,
-	}, sampler.Rand())
+	var dist []float64
+	var sampler *sim.Sampler
+	if o.Backend != "" {
+		b, err := backend.New(o.Backend)
+		if err != nil {
+			panic("qfarith: " + err.Error())
+		}
+		d, _, err := b.Run(context.Background(), backend.PointSpec{
+			Circuit:      res,
+			Model:        o.model(),
+			Initial:      initial,
+			Measure:      geo.OutReg,
+			Trajectories: o.Trajectories,
+			Seed1:        o.Seed,
+			Seed2:        o.Seed ^ 0x6a09e667f3bcc909,
+		})
+		if err != nil {
+			panic("qfarith: " + err.Error())
+		}
+		dist = d
+		sampler = sim.NewSampler(o.Seed^0x9e3779b97f4a7c15, o.Seed)
+	} else {
+		// Legacy inline path: the mixture RNG and the shot sampler share
+		// one stream; kept verbatim so seeded results stay stable.
+		engine := noise.NewEngine(res, o.model())
+		st := sim.NewState(geo.TotalQubits)
+		dist = make([]float64, 1<<uint(geo.OutBits))
+		sampler = sim.NewSampler(o.Seed, o.Seed^0x6a09e667f3bcc909)
+		engine.MixtureInto(dist, st, initial, noise.MixtureOpts{
+			Trajectories: o.Trajectories,
+			Measure:      geo.OutReg,
+		}, sampler.Rand())
+	}
 	counts := sampler.Counts(dist, o.Shots)
 	score := metrics.Score(counts, expected)
 	n1, n2 := res.CountByArity()
