@@ -8,6 +8,7 @@ package qfarith_test
 
 import (
 	"fmt"
+	"runtime/debug"
 	"testing"
 
 	"qfarith/internal/arith"
@@ -243,6 +244,67 @@ func BenchmarkNoisyTrajectoryQFM(b *testing.B) {
 		events := engine.SampleConditional(rng)
 		st.SetBasis(0)
 		engine.RunTrajectory(st, events)
+	}
+}
+
+// BenchmarkTrajectoryMixture is the trajectory-engine hot path as the
+// experiment layer drives it: one MixtureInto call per iteration (ideal
+// stratum + K conditional trajectories) on the paper geometries at the
+// current-hardware noise point. ReportAllocs makes steady-state scratch
+// allocations visible: divide allocs/op by K+1 for the per-trajectory
+// figure the fast-path work targets at zero.
+func BenchmarkTrajectoryMixture(b *testing.B) {
+	bench := func(b *testing.B, geo experiment.Geometry, depth, traj int) {
+		res := geo.BuildCircuit(depth)
+		engine := noise.NewEngine(res, noise.PaperModel(0.002, 0.01))
+		st := sim.NewState(geo.TotalQubits)
+		initial := make([]complex128, st.Dim())
+		initial[0] = 1
+		out := make([]float64, 1<<uint(len(geo.OutReg)))
+		rng := sim.NewSampler(21, 42).Rand()
+		opts := noise.MixtureOpts{Trajectories: traj, Measure: geo.OutReg}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			engine.MixtureInto(out, st, initial, opts, rng)
+		}
+	}
+	b.Run("qfa-d3-k32", func(b *testing.B) {
+		bench(b, experiment.PaperAddGeometry(), 3, 32)
+	})
+	b.Run("qfa-full-k32", func(b *testing.B) {
+		bench(b, experiment.PaperAddGeometry(), qft.Full, 32)
+	})
+	b.Run("qfm-d2-k32", func(b *testing.B) {
+		bench(b, experiment.PaperMulGeometry(), 2, 32)
+	})
+	b.Run("qfm-full-k32", func(b *testing.B) {
+		bench(b, experiment.PaperMulGeometry(), qft.Full, 32)
+	})
+}
+
+// BenchmarkTrajectoryMixtureSteadyState is BenchmarkTrajectoryMixture's
+// qfa-d3 case with the GC disabled for the timed region: without
+// collections emptying the sync.Pools mid-run, the warm per-trajectory
+// loop must report exactly 0 allocs/op (any nonzero value here is a
+// scratch-reuse regression; TestMixtureSteadyStateZeroAlloc enforces the
+// same contract as a test).
+func BenchmarkTrajectoryMixtureSteadyState(b *testing.B) {
+	geo := experiment.PaperAddGeometry()
+	res := geo.BuildCircuit(3)
+	engine := noise.NewEngine(res, noise.PaperModel(0.002, 0.01))
+	st := sim.NewState(geo.TotalQubits)
+	initial := make([]complex128, st.Dim())
+	initial[0] = 1
+	out := make([]float64, 1<<uint(len(geo.OutReg)))
+	rng := sim.NewSampler(21, 42).Rand()
+	opts := noise.MixtureOpts{Trajectories: 32, Measure: geo.OutReg}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	engine.MixtureInto(out, st, initial, opts, rng) // warm the pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.MixtureInto(out, st, initial, opts, rng)
 	}
 }
 

@@ -62,7 +62,10 @@ func runThermal(args []string) {
 	t2 := fs.Float64("t2", 80e-6, "T2 dephasing time (s)")
 	readout := fs.Float64("readout", 0.02, "per-bit readout flip probability")
 	traj := fs.Int("traj", 120, "trajectories")
+	var prof profiler
+	prof.register(fs)
 	fs.Parse(args)
+	defer prof.start()()
 
 	geo := experiment.PaperAddGeometry()
 	res := geo.BuildCircuit(3)
@@ -101,7 +104,10 @@ func runAblateRouting(args []string) {
 	backendName := fs.String("backend", backend.DefaultName,
 		"execution backend: "+strings.Join(backend.Names(), "|"))
 	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	var prof profiler
+	prof.register(fs)
 	fs.Parse(args)
+	defer prof.start()()
 	ctx, stop := sweepContext()
 	defer stop()
 	runner := newRunnerOrExit(*backendName, *workers)
@@ -155,7 +161,10 @@ func runScaling(args []string) {
 	backendName := fs.String("backend", backend.DefaultName,
 		"execution backend: "+strings.Join(backend.Names(), "|")+" (density caps n at 5)")
 	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	var prof profiler
+	prof.register(fs)
 	fs.Parse(args)
+	defer prof.start()()
 	ctx, stop := sweepContext()
 	defer stop()
 	runner := newRunnerOrExit(*backendName, *workers)
@@ -221,7 +230,10 @@ func runShor(args []string) {
 	modulus := fs.Uint64("N", 15, "modulus")
 	tbits := fs.Int("t", 4, "phase bits")
 	traj := fs.Int("traj", 24, "trajectories per point")
+	var prof profiler
+	prof.register(fs)
 	fs.Parse(args)
+	defer prof.start()()
 
 	c, lay := arith.NewOrderFinding(*base, *modulus, *tbits, arith.DefaultConfig())
 	res := transpile.Transpile(c)

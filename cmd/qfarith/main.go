@@ -128,6 +128,7 @@ type sweepFlags struct {
 	orderSets [][2]int
 	backend   string
 	workers   int
+	prof      profiler
 }
 
 // runner builds the shared execution runner the sweep submits to: the
@@ -176,6 +177,8 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 	backendName := fs.String("backend", backend.DefaultName,
 		"execution backend: "+strings.Join(backend.Names(), "|"))
 	workers := fs.Int("workers", 0, "worker-pool size shared across points and instances (0 = GOMAXPROCS)")
+	var prof profiler
+	prof.register(fs)
 	fs.Parse(args)
 
 	var b experiment.Budget
@@ -203,7 +206,7 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 	b.Workers = *workers
 	sf := sweepFlags{budget: b, outDir: *out, seed: *seed,
 		rates1q: experiment.PaperRates1Q, rates2q: experiment.PaperRates2Q,
-		backend: *backendName, workers: *workers}
+		backend: *backendName, workers: *workers, prof: prof}
 	if *rates != "" {
 		var grid []float64
 		for _, tok := range strings.Split(*rates, ",") {
@@ -240,6 +243,7 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 
 func runFigure(args []string, geo experiment.Geometry, depths []int, name string) {
 	sf := parseSweepFlags(args, name)
+	defer sf.prof.start()()
 	if err := os.MkdirAll(sf.outDir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -283,6 +287,10 @@ func runFigure(args []string, geo experiment.Geometry, depths []int, name string
 	}
 	hits, misses := runner.Cache().Stats()
 	fmt.Printf("transpile cache: %d built, %d reused\n", misses, hits)
+	if tb, ok := runner.Backend().(*backend.TrajectoryBackend); ok {
+		eh, em, ev := tb.EngineCacheStats()
+		fmt.Printf("engine cache: %d built, %d reused, %d evicted\n", em, eh, ev)
+	}
 	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Second))
 }
 
@@ -301,6 +309,7 @@ func pointRate(r experiment.PointResult) float64 {
 // improved rate (0.7%).
 func runClaim2Q(args []string) {
 	sf := parseSweepFlags(args, "claim-2q")
+	defer sf.prof.start()()
 	ctx, stop := sweepContext()
 	defer stop()
 	runner := sf.runner()
@@ -340,6 +349,7 @@ func runClaim2Q(args []string) {
 // current-hardware noise point.
 func runAblateAddCut(args []string) {
 	sf := parseSweepFlags(args, "ablate-addcut")
+	defer sf.prof.start()()
 	ctx, stop := sweepContext()
 	defer stop()
 	runner := sf.runner()

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profiler adds -cpuprofile/-memprofile to a command's flag set and
+// manages the profile lifetimes, so any sweep or study command can be
+// profiled directly (go tool pprof <file>) without rebuilding it as a
+// benchmark harness.
+type profiler struct {
+	cpu *string
+	mem *string
+}
+
+// register installs the profiling flags on fs.
+func (p *profiler) register(fs *flag.FlagSet) {
+	p.cpu = fs.String("cpuprofile", "", "write a CPU profile to this file")
+	p.mem = fs.String("memprofile", "", "write an allocation profile to this file on exit")
+}
+
+// start begins CPU profiling if requested and returns the stop function
+// to defer: it flushes the CPU profile and writes the heap profile.
+// Exits with status 1 if a profile file cannot be created, since a
+// requested-but-lost profile would silently waste the whole run.
+func (p *profiler) start() func() {
+	var cpuFile *os.File
+	if *p.cpu != "" {
+		f, err := os.Create(*p.cpu)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Printf("cpu profile written to %s\n", *p.cpu)
+		}
+		if *p.mem != "" {
+			f, err := os.Create(*p.mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("alloc profile written to %s\n", *p.mem)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"container/list"
 	"context"
 	"math/rand/v2"
 	"sync"
@@ -10,18 +11,30 @@ import (
 	"qfarith/internal/transpile"
 )
 
+// maxCachedEngines bounds the trajectory backend's engine cache. A
+// figure sweep touches (circuits × error rates) engine keys; the
+// largest paper panel needs well under this many live at once, and the
+// LRU keeps a long-lived process (or a sweep over many custom rate
+// grids) from accumulating one engine per key forever.
+const maxCachedEngines = 64
+
 // TrajectoryBackend evaluates point specs with the stratified Pauli
 // trajectory mixture engine (internal/noise): the no-error stratum is
 // exact and the conditional (≥1 error) remainder is Monte Carlo over
 // spec.Trajectories samples. It is the default backend and the one that
 // reproduces the paper's per-shot noise semantics.
 //
-// The backend caches one noise.Engine per (circuit, model) pair, so the
-// per-circuit precomputation (error probabilities, first-error CDF) is
-// paid once per sweep point rather than once per instance.
+// The backend caches noise engines per (circuit, model) pair in an LRU
+// of maxCachedEngines entries, so the per-circuit precomputation (error
+// probabilities, first-error CDF, fused program) is paid once per sweep
+// point rather than once per instance, while the cache stays bounded.
 type TrajectoryBackend struct {
-	mu      sync.RWMutex
-	engines map[engineKey]*noise.Engine
+	mu        sync.Mutex
+	engines   map[engineKey]*list.Element
+	order     *list.List // front = most recently used
+	hits      int
+	misses    int
+	evictions int
 }
 
 type engineKey struct {
@@ -29,37 +42,85 @@ type engineKey struct {
 	model noise.Model
 }
 
+type engineEntry struct {
+	key    engineKey
+	engine *noise.Engine
+}
+
 // NewTrajectoryBackend returns a trajectory backend with an empty
 // engine cache.
 func NewTrajectoryBackend() *TrajectoryBackend {
-	return &TrajectoryBackend{engines: make(map[engineKey]*noise.Engine)}
+	return &TrajectoryBackend{
+		engines: make(map[engineKey]*list.Element),
+		order:   list.New(),
+	}
 }
 
 // Name implements Backend.
 func (t *TrajectoryBackend) Name() string { return "trajectory" }
 
 // engine returns the cached trajectory engine for (res, model),
-// building it on first use.
+// building it on first use and evicting the least recently used entry
+// once the cache exceeds maxCachedEngines.
 func (t *TrajectoryBackend) engine(res *transpile.Result, model noise.Model) *noise.Engine {
 	key := engineKey{res: res, model: model}
-	t.mu.RLock()
-	e := t.engines[key]
-	t.mu.RUnlock()
-	if e != nil {
+	t.mu.Lock()
+	if el, ok := t.engines[key]; ok {
+		t.order.MoveToFront(el)
+		t.hits++
+		e := el.Value.(*engineEntry).engine
+		t.mu.Unlock()
 		return e
 	}
+	t.misses++
+	t.mu.Unlock()
+	// Build outside the lock: engine construction walks the whole
+	// circuit, and concurrent Run calls for other keys shouldn't stall
+	// behind it. A racing build for the same key just loses the insert.
+	e := noise.NewEngine(res, model)
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if e = t.engines[key]; e == nil {
-		e = noise.NewEngine(res, model)
-		t.engines[key] = e
+	if el, ok := t.engines[key]; ok {
+		t.order.MoveToFront(el)
+		return el.Value.(*engineEntry).engine
+	}
+	t.engines[key] = t.order.PushFront(&engineEntry{key: key, engine: e})
+	if t.order.Len() > maxCachedEngines {
+		oldest := t.order.Back()
+		t.order.Remove(oldest)
+		delete(t.engines, oldest.Value.(*engineEntry).key)
+		t.evictions++
 	}
 	return e
 }
 
+// EngineCacheStats reports the engine cache's hit, miss, and eviction
+// counts.
+func (t *TrajectoryBackend) EngineCacheStats() (hits, misses, evictions int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hits, t.misses, t.evictions
+}
+
+// EngineCacheLen returns how many engines the cache currently holds.
+func (t *TrajectoryBackend) EngineCacheLen() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.order.Len()
+}
+
+// runScratch holds the |0...0> preparation buffer a Run call needs when
+// the spec carries no explicit initial state.
+type runScratch struct {
+	initial []complex128
+}
+
+var runPool = sync.Pool{New: func() any { return new(runScratch) }}
+
 // Run implements Backend. The RNG stream is fully determined by
 // (Seed1, Seed2), so equal specs give bit-identical distributions
-// regardless of scheduling.
+// regardless of scheduling. The statevector and preparation buffers are
+// pooled; only the returned distributions are freshly allocated.
 func (t *TrajectoryBackend) Run(ctx context.Context, spec PointSpec) (Distribution, Diagnostics, error) {
 	if err := spec.validate(); err != nil {
 		return nil, Diagnostics{}, err
@@ -68,10 +129,19 @@ func (t *TrajectoryBackend) Run(ctx context.Context, spec PointSpec) (Distributi
 		return nil, Diagnostics{}, err
 	}
 	engine := t.engine(spec.Circuit, spec.Model)
-	st := sim.NewState(spec.Circuit.NumQubits)
+	st := sim.GetScratchState(spec.Circuit.NumQubits)
+	defer sim.PutScratchState(st)
 	initial := spec.Initial
 	if initial == nil {
-		initial = make([]complex128, st.Dim())
+		sc := runPool.Get().(*runScratch)
+		defer runPool.Put(sc)
+		if cap(sc.initial) < st.Dim() {
+			sc.initial = make([]complex128, st.Dim())
+		}
+		initial = sc.initial[:st.Dim()]
+		for i := range initial {
+			initial[i] = 0
+		}
 		initial[0] = 1
 	}
 	dist := make(Distribution, 1<<uint(len(spec.Measure)))

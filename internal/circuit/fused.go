@@ -1,0 +1,23 @@
+package circuit
+
+// DiagTerm is one phase factor of a fused run of diagonal gates: it
+// multiplies every amplitude whose basis index matches the bit pattern
+// (idx & Sel == Val) by Phase. A P/CP/CCP-like gate contributes a single
+// term with Sel == Val (all selected bits must be 1); an RZ contributes
+// two terms, one per target-bit value, so every amplitude still receives
+// exactly one multiplication — the same floating-point operation the
+// op-by-op kernels would have performed.
+//
+// Terms carry the index of the source op they were lowered from so a
+// fused run can be split at any op boundary (the per-amplitude multiply
+// sequence is unchanged by splitting, keeping partial application
+// bit-exact with full application).
+type DiagTerm struct {
+	// Sel selects the basis-index bits the term conditions on; Val gives
+	// the required values of those bits.
+	Sel, Val uint64
+	// Phase is the multiplier applied to matching amplitudes.
+	Phase complex128
+	// Src is the index of the source op this term lowers.
+	Src int
+}

@@ -92,6 +92,9 @@ type Engine struct {
 	cumFirst []float64
 	w0       float64 // probability of a completely error-free shot
 	noisyOps int
+	// spanOf[pi] is the source-span index containing native op pi, used
+	// to locate the first span a trajectory's events touch.
+	spanOf []int
 }
 
 // NewEngine prepares trajectory sampling for res under model.
@@ -123,6 +126,12 @@ func NewEngine(res *transpile.Result, model Model) *Engine {
 		}
 		e.cumFirst[len(res.Ops)-1] = 1
 	}
+	e.spanOf = make([]int, len(res.Ops))
+	for si, sp := range res.Spans {
+		for pi := sp.Start; pi < sp.End; pi++ {
+			e.spanOf[pi] = si
+		}
+	}
 	return e
 }
 
@@ -149,15 +158,23 @@ func (e *Engine) SampleConditional(rng *rand.Rand) []Event {
 	if e.w0 >= 1 {
 		return nil
 	}
+	return e.sampleConditionalAppend(make([]Event, 0, 4), rng)
+}
+
+// sampleConditionalAppend draws one conditional trajectory with the
+// exact RNG consumption of SampleConditional, appending its events to
+// dst. The engine must not be noiseless. Used by MixtureInto to gather
+// all trajectories into one reusable buffer before simulating.
+func (e *Engine) sampleConditionalAppend(dst []Event, rng *rand.Rand) []Event {
 	u := rng.Float64()
 	first := searchFloat(e.cumFirst, u)
-	events := []Event{{PhysIdx: first, Pauli: e.samplePauli(first, rng)}}
+	dst = append(dst, Event{PhysIdx: first, Pauli: e.samplePauli(first, rng)})
 	for i := first + 1; i < len(e.probs); i++ {
 		if p := e.probs[i]; p > 0 && rng.Float64() < p {
-			events = append(events, Event{PhysIdx: i, Pauli: e.samplePauli(i, rng)})
+			dst = append(dst, Event{PhysIdx: i, Pauli: e.samplePauli(i, rng)})
 		}
 	}
-	return events
+	return dst
 }
 
 // SampleUnconditional draws a trajectory from the unconditioned channel

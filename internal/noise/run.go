@@ -2,9 +2,11 @@ package noise
 
 import (
 	"math/rand/v2"
+	"sync"
 
 	"qfarith/internal/gate"
 	"qfarith/internal/sim"
+	"qfarith/internal/transpile"
 )
 
 // pauli1 applies the 1q Pauli encoded 1..3 (X, Y, Z) to qubit q.
@@ -32,19 +34,84 @@ func (e *Engine) applyEvent(st *sim.State, ev Event) {
 	pauli1(st, op.Qubits[0], ev.Pauli)
 }
 
+// applyFusedRange applies the error-free source ops [lo, hi) to st
+// through the circuit's fused program: diagonal runs go through the
+// one-pass ApplyDiagTerms kernel, fused 1q runs through a single 2x2
+// apply, everything else through the per-op kernels. Diagonal runs stay
+// bit-exact with op-by-op execution even when [lo, hi) covers only part
+// of a segment; a partially covered 1q segment falls back to op-by-op
+// since its fused matrix cannot be split.
+func (e *Engine) applyFusedRange(st *sim.State, lo, hi int) {
+	fp := e.Res.Fused()
+	for i := lo; i < hi; {
+		seg := &fp.Segments[fp.SegOfSrc[i]]
+		end := seg.SrcEnd
+		if end > hi {
+			end = hi
+		}
+		switch seg.Kind {
+		case transpile.SegDiag:
+			st.ApplyDiagTerms(seg.TermsFor(i, end))
+		case transpile.Seg1Q:
+			if i == seg.SrcStart && end == seg.SrcEnd {
+				st.Apply1Q(seg.Qubit, seg.M[0], seg.M[1], seg.M[2], seg.M[3])
+			} else {
+				for j := i; j < end; j++ {
+					st.ApplyOp(e.Res.Source[j])
+				}
+			}
+		default:
+			st.ApplyOp(e.Res.Source[i])
+		}
+		i = end
+	}
+}
+
 // RunTrajectory applies the circuit to st with the given Pauli
-// insertions (sorted by PhysIdx). Logical source ops whose native span
-// contains no event are applied through their fast simulator kernel; a
-// span containing events is expanded into its native gates with the
-// Paulis inserted at the exact physical positions, so the trajectory is
+// insertions (sorted by PhysIdx). Stretches of source ops whose native
+// spans contain no event execute through the fused program; a span
+// containing events is expanded into its native gates with the Paulis
+// inserted at the exact physical positions, so the trajectory is
 // bit-exact with a fully native simulation (up to global phase).
 func (e *Engine) RunTrajectory(st *sim.State, events []Event) {
+	ei := e.runTrajectoryFrom(st, events, 0)
+	// Events beyond the last span would indicate corrupted input.
+	if ei != len(events) {
+		panic("noise: trajectory events out of range")
+	}
+}
+
+// runTrajectoryFrom simulates spans [startSpan, end) with the given
+// events (sorted by PhysIdx, all inside the simulated range) and returns
+// how many events were consumed. st must already hold the error-free
+// state after spans [0, startSpan).
+func (e *Engine) runTrajectoryFrom(st *sim.State, events []Event, startSpan int) int {
 	res := e.Res
+	nSpans := len(res.Spans)
 	ei := 0
-	for si, span := range res.Spans {
-		if ei >= len(events) || events[ei].PhysIdx >= span.End {
-			// No event inside this span: logical fast path.
-			st.ApplyOp(res.Source[si])
+	for si := startSpan; si < nSpans; {
+		next := nSpans
+		if ei < len(events) {
+			next = e.spanOf[events[ei].PhysIdx]
+		}
+		if next > si {
+			// Event-free stretch: fused fast path. (Spans and Source are
+			// index-aligned, so span indices are source-op indices.)
+			e.applyFusedRange(st, si, next)
+			si = next
+			continue
+		}
+		// The next event lands inside span si. Gather every event in the
+		// span and apply natives+Paulis as one dense unitary; spans on
+		// more than MaxDenseQubits qubits expand natively instead.
+		span := res.Spans[si]
+		e2 := ei
+		for e2 < len(events) && events[e2].PhysIdx < span.End {
+			e2++
+		}
+		if e.applyEventSpan(st, si, events[ei:e2]) {
+			ei = e2
+			si++
 			continue
 		}
 		for pi := span.Start; pi < span.End; pi++ {
@@ -54,11 +121,9 @@ func (e *Engine) RunTrajectory(st *sim.State, events []Event) {
 				ei++
 			}
 		}
+		si++
 	}
-	// Events beyond the last span would indicate corrupted input.
-	if ei != len(events) {
-		panic("noise: trajectory events out of range")
-	}
+	return ei
 }
 
 // MixtureOpts configures MixtureInto.
@@ -75,6 +140,37 @@ type MixtureOpts struct {
 	IdealOut []float64
 }
 
+// mixScratch bundles every buffer MixtureInto needs so the whole working
+// set recycles through one pool entry and steady-state calls allocate
+// nothing.
+type mixScratch struct {
+	events []Event   // all K event lists, flattened
+	offs   []int     // offs[t]..offs[t+1] bounds trajectory t's events
+	first  []int     // first-error span index per trajectory
+	order  []int     // trajectory indices sorted by first-error span
+	count  []int     // counting-sort workspace
+	marg   []float64 // K per-trajectory marginals, k*len(out) flat
+	ideal  []float64 // error-free marginal
+}
+
+var mixPool = sync.Pool{New: func() any { return new(mixScratch) }}
+
+// grownInts returns buf resized to n, reallocating only when capacity is
+// exceeded. Contents are unspecified.
+func grownInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func grownFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 // MixtureInto estimates the measurement distribution of the noisy
 // circuit on the given initial amplitudes:
 //
@@ -87,36 +183,109 @@ type MixtureOpts struct {
 // distribution. st is caller-managed scratch space (overwritten);
 // initial holds the prepared input amplitudes; out must have length
 // 2^len(opts.Measure).
+//
+// Internally the K trajectories are sampled up front (with the exact RNG
+// draw order of K sequential SampleConditional calls), grouped by the
+// span their first error lands in, and simulated from a checkpoint of
+// the shared error-free prefix — computed once per group by a single
+// forward pass that also yields the ideal stratum. Marginals accumulate
+// into out in the original trajectory order, so the result is
+// bit-identical to the naive loop that re-simulates every trajectory
+// from the start.
 func (e *Engine) MixtureInto(out []float64, st *sim.State, initial []complex128, opts MixtureOpts, rng *rand.Rand) {
-	if len(out) != 1<<uint(len(opts.Measure)) {
+	m := 1 << uint(len(opts.Measure))
+	if len(out) != m {
 		panic("noise: output buffer size mismatch")
 	}
-	for i := range out {
-		out[i] = 0
-	}
-	// Ideal (error-free) stratum.
-	st.SetAmplitudes(initial)
-	for _, op := range e.Res.Source {
-		st.ApplyOp(op)
-	}
-	ideal := st.RegisterProbs(opts.Measure)
-	if opts.IdealOut != nil {
-		copy(opts.IdealOut, ideal)
-	}
 	if e.w0 >= 1 {
-		copy(out, ideal)
+		// Error-free model: the mixture is exactly the ideal distribution.
+		st.SetAmplitudes(initial)
+		e.applyFusedRange(st, 0, len(e.Res.Source))
+		st.RegisterProbsInto(out, opts.Measure)
+		if opts.IdealOut != nil {
+			copy(opts.IdealOut, out)
+		}
 		return
 	}
-	sim.MixInto(out, ideal, e.w0)
 	k := opts.Trajectories
 	if k < 1 {
 		k = 1
 	}
+	sc := mixPool.Get().(*mixScratch)
+	defer mixPool.Put(sc)
+
+	// Sample all K event lists in trajectory order — simulation consumes
+	// no randomness, so the draw sequence matches the naive loop.
+	sc.events = sc.events[:0]
+	sc.offs = grownInts(sc.offs, k+1)
+	for t := 0; t < k; t++ {
+		sc.offs[t] = len(sc.events)
+		sc.events = e.sampleConditionalAppend(sc.events, rng)
+	}
+	sc.offs[k] = len(sc.events)
+
+	// Stable counting sort of trajectories by first-error span, so each
+	// checkpoint prefix is computed once and reused by its whole group.
+	nSpans := len(e.Res.Spans)
+	sc.first = grownInts(sc.first, k)
+	sc.count = grownInts(sc.count, nSpans+1)
+	for i := range sc.count {
+		sc.count[i] = 0
+	}
+	for t := 0; t < k; t++ {
+		s := e.spanOf[sc.events[sc.offs[t]].PhysIdx]
+		sc.first[t] = s
+		sc.count[s]++
+	}
+	pos := 0
+	for s := 0; s < nSpans; s++ {
+		c := sc.count[s]
+		sc.count[s] = pos
+		pos += c
+	}
+	sc.order = grownInts(sc.order, k)
+	for t := 0; t < k; t++ {
+		sc.order[sc.count[sc.first[t]]] = t
+		sc.count[sc.first[t]]++
+	}
+
+	// One error-free forward pass. Each group branches off the prefix at
+	// its first-error span; finishing the pass yields the ideal stratum.
+	sc.marg = grownFloats(sc.marg, k*m)
+	prefix := sim.GetScratchState(st.NumQubits())
+	defer sim.PutScratchState(prefix)
+	prefix.SetWorkers(st.Workers())
+	prefix.SetAmplitudes(initial)
+	cur := 0
+	for gi := 0; gi < k; {
+		s := sc.first[sc.order[gi]]
+		e.applyFusedRange(prefix, cur, s)
+		cur = s
+		for ; gi < k && sc.first[sc.order[gi]] == s; gi++ {
+			t := sc.order[gi]
+			st.CopyFrom(prefix)
+			ev := sc.events[sc.offs[t]:sc.offs[t+1]]
+			if used := e.runTrajectoryFrom(st, ev, s); used != len(ev) {
+				panic("noise: trajectory events out of range")
+			}
+			st.RegisterProbsInto(sc.marg[t*m:(t+1)*m], opts.Measure)
+		}
+	}
+	e.applyFusedRange(prefix, cur, nSpans)
+	sc.ideal = grownFloats(sc.ideal, m)
+	prefix.RegisterProbsInto(sc.ideal, opts.Measure)
+	if opts.IdealOut != nil {
+		copy(opts.IdealOut, sc.ideal)
+	}
+
+	// Accumulate in the order the naive loop used: ideal stratum first,
+	// then trajectories 0..K-1 — identical float additions, identical out.
+	for i := range out {
+		out[i] = 0
+	}
+	sim.MixInto(out, sc.ideal, e.w0)
 	wt := (1 - e.w0) / float64(k)
 	for t := 0; t < k; t++ {
-		events := e.SampleConditional(rng)
-		st.SetAmplitudes(initial)
-		e.RunTrajectory(st, events)
-		sim.MixInto(out, st.RegisterProbs(opts.Measure), wt)
+		sim.MixInto(out, sc.marg[t*m:(t+1)*m], wt)
 	}
 }

@@ -1,0 +1,29 @@
+package sim
+
+import "sync"
+
+// statePools holds per-qubit-count free lists of scratch states so the
+// trajectory hot path can reuse statevectors instead of allocating
+// 2^n-amplitude slices per call. Pool index is the qubit count.
+var statePools [MaxQubits + 1]sync.Pool
+
+// GetScratchState returns an n-qubit state from the scratch pool. Its
+// amplitude contents are undefined — callers must initialise it with
+// SetAmplitudes, SetBasis, or CopyFrom before use. The worker setting is
+// reset to 1; call SetWorkers to re-enable parallel kernels.
+func GetScratchState(n int) *State {
+	if s, ok := statePools[n].Get().(*State); ok {
+		s.workers = 1
+		return s
+	}
+	return NewState(n)
+}
+
+// PutScratchState returns a state obtained from GetScratchState (or any
+// State the caller no longer needs) to the scratch pool.
+func PutScratchState(s *State) {
+	if s == nil {
+		return
+	}
+	statePools[s.n].Put(s)
+}

@@ -30,6 +30,10 @@ type State struct {
 	n       int
 	amps    []complex128
 	workers int // kernel goroutine count; see SetWorkers
+
+	// diagActive is reusable scratch for ApplyDiagTerms' per-block term
+	// filtering, kept on the state so hot loops don't allocate.
+	diagActive []circuit.DiagTerm
 }
 
 // NewState returns the n-qubit all-zeros state |0...0>.
@@ -222,35 +226,24 @@ func (s *State) Apply1Q(q int, m00, m01, m10, m11 complex128) {
 // ApplyCtrl1Q applies a 2x2 unitary to qubit t on the subspace where all
 // control qubits are 1.
 func (s *State) ApplyCtrl1Q(controls []int, t int, m00, m01, m10, m11 complex128) {
-	k := len(controls) + 1
-	positions := make([]int, 0, k)
-	positions = append(positions, controls...)
-	positions = append(positions, t)
-	sortInts(positions)
 	var cmask int
 	for _, c := range controls {
 		cmask |= 1 << uint(c)
 	}
 	tbit := 1 << uint(t)
-	groups := len(s.amps) >> uint(k)
+	mask := cmask | tbit
+	groups := len(s.amps) >> uint(len(controls)+1)
+	// Enumerate base indices with all involved bits clear by counting
+	// with those bits forced on, so the carry skips them — same ascending
+	// order the old insertZero walk produced, without the index math.
+	base := 0
 	for g := 0; g < groups; g++ {
-		idx := g
-		for _, p := range positions {
-			idx = insertZero(idx, p)
-		}
-		i0 := idx | cmask
+		i0 := base | cmask
 		i1 := i0 | tbit
 		a0, a1 := s.amps[i0], s.amps[i1]
 		s.amps[i0] = m00*a0 + m01*a1
 		s.amps[i1] = m10*a0 + m11*a1
-	}
-}
-
-func sortInts(v []int) {
-	for i := 1; i < len(v); i++ {
-		for j := i; j > 0 && v[j-1] > v[j]; j-- {
-			v[j-1], v[j] = v[j], v[j-1]
-		}
+		base = ((base | mask) + 1) &^ mask
 	}
 }
 
@@ -371,6 +364,15 @@ func (s *State) ApplyOp(op circuit.Op) {
 		s.CCPhase(q[0], q[1], q[2], op.Theta)
 	case gate.SWAP:
 		s.Swap(q[0], q[1])
+	case gate.CH:
+		// Same matrix entries gate.Base(CH) yields, without the per-call
+		// matrix allocation — CH is hot in the controlled adders.
+		s2 := complex(1/math.Sqrt2, 0)
+		ctrl := [1]int{q[0]}
+		s.ApplyCtrl1Q(ctrl[:], q[1], s2, s2, s2, -s2)
+	case gate.CCX:
+		ctrl := [2]int{q[0], q[1]}
+		s.ApplyCtrl1Q(ctrl[:], q[2], 0, 1, 1, 0)
 	default:
 		s.applyGeneric(op)
 	}
@@ -410,8 +412,24 @@ func (s *State) ApplyCircuit(c *circuit.Circuit) {
 // register formed by the given qubits, with qubits[0] the least
 // significant bit of the register value.
 func (s *State) RegisterProbs(qubits []int) []float64 {
+	out := make([]float64, 1<<uint(len(qubits)))
+	s.RegisterProbsInto(out, qubits)
+	return out
+}
+
+// RegisterProbsInto writes the marginal distribution of the given
+// qubits into out, which must have length 2^len(qubits). The
+// accumulation order over amplitudes is identical to RegisterProbs, so
+// results are bit-for-bit the same; the caller-provided buffer lets hot
+// loops avoid a per-call allocation.
+func (s *State) RegisterProbsInto(out []float64, qubits []int) {
 	w := len(qubits)
-	out := make([]float64, 1<<uint(w))
+	if len(out) != 1<<uint(w) {
+		panic("sim: RegisterProbsInto output buffer size mismatch")
+	}
+	for i := range out {
+		out[i] = 0
+	}
 	// Fast path: contiguous ascending register starting at lo.
 	contig := true
 	for i, q := range qubits {
@@ -427,7 +445,14 @@ func (s *State) RegisterProbs(qubits []int) []float64 {
 			p := real(a)*real(a) + imag(a)*imag(a)
 			out[(idx>>lo)&mask] += p
 		}
-		return out
+		return
+	}
+	// Scattered path: hoist the per-qubit shift table out of the
+	// amplitude loop instead of re-deriving it per index.
+	var shiftBuf [MaxQubits]uint
+	shifts := shiftBuf[:w]
+	for i, q := range qubits {
+		shifts[i] = uint(q)
 	}
 	for idx, a := range s.amps {
 		p := real(a)*real(a) + imag(a)*imag(a)
@@ -435,10 +460,9 @@ func (s *State) RegisterProbs(qubits []int) []float64 {
 			continue
 		}
 		v := 0
-		for i, q := range qubits {
-			v |= ((idx >> uint(q)) & 1) << uint(i)
+		for i, sh := range shifts {
+			v |= ((idx >> sh) & 1) << uint(i)
 		}
 		out[v] += p
 	}
-	return out
 }

@@ -1,0 +1,72 @@
+package transpile
+
+import (
+	"testing"
+
+	"qfarith/internal/arith"
+	"qfarith/internal/qft"
+)
+
+// TestFuseSegmentsPartitionSource checks the structural invariants the
+// trajectory engine relies on: segments tile the source op list exactly,
+// SegOfSrc is consistent with the tiling, diagonal segments carry terms
+// only for their own source range, and 1q segments really are runs on a
+// single qubit.
+func TestFuseSegmentsPartitionSource(t *testing.T) {
+	circuits := []struct {
+		name string
+		res  *Result
+	}{
+		{"qfa-d3", Transpile(arith.NewQFA(3, 4, arith.Config{Depth: 3, AddCut: arith.FullAdd}))},
+		{"qfa-full", Transpile(arith.NewQFA(3, 4, arith.Config{Depth: qft.Full, AddCut: arith.FullAdd}))},
+		{"qfm-d2", Transpile(arith.NewQFM(3, 3, arith.Config{Depth: 2, AddCut: arith.FullAdd}))},
+	}
+	for _, c := range circuits {
+		fp := c.res.Fused()
+		if len(fp.SegOfSrc) != len(c.res.Source) {
+			t.Fatalf("%s: SegOfSrc covers %d ops, source has %d", c.name, len(fp.SegOfSrc), len(c.res.Source))
+		}
+		next := 0
+		for si, seg := range fp.Segments {
+			if seg.SrcStart != next {
+				t.Fatalf("%s: segment %d starts at %d, want %d", c.name, si, seg.SrcStart, next)
+			}
+			if seg.SrcEnd <= seg.SrcStart {
+				t.Fatalf("%s: segment %d is empty", c.name, si)
+			}
+			for i := seg.SrcStart; i < seg.SrcEnd; i++ {
+				if fp.SegOfSrc[i] != si {
+					t.Fatalf("%s: SegOfSrc[%d] = %d, want %d", c.name, i, fp.SegOfSrc[i], si)
+				}
+			}
+			switch seg.Kind {
+			case SegDiag:
+				full := seg.TermsFor(seg.SrcStart, seg.SrcEnd)
+				if len(full) != len(seg.Terms) {
+					t.Fatalf("%s: segment %d TermsFor(full) drops terms", c.name, si)
+				}
+				for _, term := range seg.Terms {
+					if term.Src < seg.SrcStart || term.Src >= seg.SrcEnd {
+						t.Fatalf("%s: segment %d term Src %d outside [%d,%d)",
+							c.name, si, term.Src, seg.SrcStart, seg.SrcEnd)
+					}
+				}
+			case Seg1Q:
+				if seg.SrcEnd-seg.SrcStart < 2 {
+					t.Fatalf("%s: segment %d fuses a single 1q gate", c.name, si)
+				}
+				for i := seg.SrcStart; i < seg.SrcEnd; i++ {
+					op := c.res.Source[i]
+					if op.Kind.Arity() != 1 || op.Qubits[0] != seg.Qubit {
+						t.Fatalf("%s: segment %d contains %v, not a %d-qubit run",
+							c.name, si, op, seg.Qubit)
+					}
+				}
+			}
+			next = seg.SrcEnd
+		}
+		if next != len(c.res.Source) {
+			t.Fatalf("%s: segments end at %d, source has %d ops", c.name, next, len(c.res.Source))
+		}
+	}
+}

@@ -9,6 +9,7 @@ package transpile
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"qfarith/internal/circuit"
 	"qfarith/internal/gate"
@@ -26,6 +27,17 @@ type Result struct {
 	Ops       []circuit.Op // native gates only
 	Source    []circuit.Op // the original logical ops
 	Spans     []Span       // Spans[i] covers Source[i]'s native expansion
+
+	fuseOnce sync.Once
+	fused    *FusedProgram
+}
+
+// Fused returns the fused execution plan for r's source ops, computing
+// it on first use. Results are shared across goroutines by the backend
+// transpile cache, so the plan is memoized under a sync.Once.
+func (r *Result) Fused() *FusedProgram {
+	r.fuseOnce.Do(func() { r.fused = Fuse(r) })
+	return r.fused
 }
 
 // Counts tallies the native gates by kind.
