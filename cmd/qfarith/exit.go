@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"sync"
+)
+
+// Every command path leaves the process through exit(), never os.Exit
+// directly: cleanups registered with onExit (CPU/heap profile flushing,
+// checkpoint-log closing) run first, LIFO, so a SIGINT mid-sweep still
+// produces complete profiles and a durable checkpoint log instead of
+// truncated files.
+var atExit struct {
+	mu  sync.Mutex
+	fns []func()
+}
+
+// onExit registers fn to run before the process exits through exit().
+// Cleanups must be idempotent when they also run on the normal defer
+// path (see profiler.start).
+func onExit(fn func()) {
+	atExit.mu.Lock()
+	atExit.fns = append(atExit.fns, fn)
+	atExit.mu.Unlock()
+}
+
+// exit runs the registered cleanups in reverse registration order and
+// terminates with code.
+func exit(code int) {
+	atExit.mu.Lock()
+	fns := atExit.fns
+	atExit.fns = nil
+	atExit.mu.Unlock()
+	for i := len(fns) - 1; i >= 0; i-- {
+		fns[i]()
+	}
+	os.Exit(code)
+}

@@ -46,7 +46,7 @@ func runQASM(args []string) {
 		c = qft.New(*ybits, d)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown op %q\n", *op)
-		os.Exit(2)
+		exit(2)
 	}
 	if *native {
 		c = transpileCircuit(c)
@@ -78,7 +78,11 @@ func runThermal(args []string) {
 	st := sim.NewState(geo.TotalQubits)
 	rng := rand.New(rand.NewPCG(5, 6))
 	dist := fe.EstimateDist(st, initial, geo.OutReg, *traj, rng)
-	mit := noise.MitigateReadout(dist, *readout)
+	mit, err := noise.MitigateReadout(dist, *readout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(1)
+	}
 	fmt.Printf("QFA(n=8) %d+%d under gate+thermal+readout noise (T1=%.0fµs T2=%.0fµs ro=%.1f%%)\n",
 		x, y, *t1*1e6, *t2*1e6, *readout*100)
 	fmt.Printf("  P(correct)            = %.3f\n", dist[want])
@@ -104,6 +108,8 @@ func runAblateRouting(args []string) {
 	backendName := fs.String("backend", backend.DefaultName,
 		"execution backend: "+strings.Join(backend.Names(), "|"))
 	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	rundir := fs.String("rundir", "", "durable run directory (per-topology checkpoints)")
+	resume := fs.Bool("resume", false, "resume the run in -rundir, skipping checkpointed topologies")
 	var prof profiler
 	prof.register(fs)
 	fs.Parse(args)
@@ -120,12 +126,20 @@ func runAblateRouting(args []string) {
 		Instances: *instances, Shots: 2048, Trajectories: *traj,
 		RowSeed: 1001, PointSeed: 1002,
 	}
+	// Routed points are the slowest single points in the suite, so the
+	// topology loop checkpoints per topology when -rundir is given.
+	sfr := sweepFlags{rundir: *rundir, resume: *resume, backend: *backendName}
+	run := sfr.openRun("ablate-routing", cfg)
+	var ck experiment.CheckpointStore
+	if run != nil {
+		ck = run
+	}
 	fmt.Printf("E7 — qubit-connectivity ablation (QFA n=8, d=3, 1:2, λ1=0.2%%, λ2=%.2f%%)\n", *p2*100)
 	fmt.Printf("%-22s %10s %10s %12s %12s\n", "topology", "CX", "swaps", "w0", "success")
 
-	base, err := experiment.RunPointCtx(ctx, runner, cfg)
+	base, err := experiment.RunPointCkptCtx(ctx, runner, cfg, "all-to-all", ck)
 	if err != nil {
-		exitSweepErr(err)
+		exitSweepErr(err, run)
 	}
 	fmt.Printf("%-22s %10d %10s %12.4f %11.1f%%\n", "all-to-all (paper)", base.Native2q, "-", base.NoErrorProb, base.Stats.SuccessRate)
 
@@ -138,9 +152,9 @@ func runAblateRouting(args []string) {
 		{"linear chain", layout.Linear(15)},
 	}
 	for _, tp := range topos {
-		r, err := experiment.RunRoutedPointCtx(ctx, runner, cfg, tp.cm)
+		r, err := experiment.RunRoutedPointCkptCtx(ctx, runner, cfg, tp.cm, tp.name, ck)
 		if err != nil {
-			exitSweepErr(err)
+			exitSweepErr(err, run)
 		}
 		swaps := (r.Native2q - base.Native2q) / 3
 		fmt.Printf("%-22s %10d %10d %12.4f %11.1f%%\n", tp.name, r.Native2q, swaps, r.NoErrorProb, r.Stats.SuccessRate)
@@ -205,7 +219,7 @@ func runScaling(args []string) {
 				}
 				r, err := experiment.RunPointCtx(ctx, runner, cfg)
 				if err != nil {
-					exitSweepErr(err)
+					exitSweepErr(err, nil)
 				}
 				cells = append(cells, fmt.Sprintf("%.0f", r.Stats.SuccessRate))
 				if r.Stats.SuccessRate > bestS {
@@ -290,7 +304,7 @@ func runReport(args []string) {
 		matches, err := filepath.Glob(filepath.Join(*dir, "*.csv"))
 		if err != nil || len(matches) == 0 {
 			fmt.Fprintf(os.Stderr, "no CSVs found under %s\n", *dir)
-			os.Exit(1)
+			exit(1)
 		}
 		files = matches
 	}
@@ -298,7 +312,7 @@ func runReport(args []string) {
 		data, err := os.ReadFile(f)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		rows, err := experiment.ParseCSV(string(data))
 		if err != nil {

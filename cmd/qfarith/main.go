@@ -34,6 +34,7 @@ import (
 	"qfarith/internal/metrics"
 	"qfarith/internal/noise"
 	"qfarith/internal/qft"
+	"qfarith/internal/runstore"
 	"qfarith/internal/sim"
 	"qfarith/internal/transpile"
 )
@@ -41,7 +42,7 @@ import (
 func main() {
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		exit(2)
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	switch cmd {
@@ -71,7 +72,7 @@ func main() {
 		runShor(args)
 	default:
 		usage()
-		os.Exit(2)
+		exit(2)
 	}
 }
 
@@ -128,6 +129,8 @@ type sweepFlags struct {
 	orderSets [][2]int
 	backend   string
 	workers   int
+	rundir    string
+	resume    bool
 	prof      profiler
 }
 
@@ -141,7 +144,7 @@ func newRunnerOrExit(backendName string, workers int) *backend.Runner {
 	b, err := backend.New(backendName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		exit(2)
 	}
 	return backend.NewRunner(b, workers)
 }
@@ -152,15 +155,90 @@ func sweepContext() (context.Context, context.CancelFunc) {
 	return signal.NotifyContext(context.Background(), os.Interrupt)
 }
 
-// exitSweepErr reports a sweep error; interruption exits with the
+// exitSweepErr reports a sweep error and leaves through exit(), so
+// profiles flush and checkpoint logs close; interruption exits with the
 // conventional 130 status.
-func exitSweepErr(err error) {
+func exitSweepErr(err error, run *runstore.Run) {
 	if errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "interrupted — sweep cancelled mid-grid, partial results discarded")
-		os.Exit(130)
+		if run != nil {
+			fmt.Fprintf(os.Stderr, "interrupted — completed points checkpointed in %s; rerun with -rundir %s -resume\n",
+				run.Dir(), run.Dir())
+		} else {
+			fmt.Fprintln(os.Stderr, "interrupted — sweep cancelled mid-grid, partial results discarded (use -rundir for durable runs)")
+		}
+		exit(130)
 	}
 	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	exit(1)
+}
+
+// sweepSpec is the hashed identity of a sweep: every field that
+// determines point results. Scheduling knobs (workers, output paths)
+// are deliberately excluded — they cannot change results, so a resumed
+// run may vary them freely.
+type sweepSpec struct {
+	Command   string
+	Geometry  experiment.Geometry
+	Depths    []int
+	Axes      []experiment.ErrorAxis
+	Orders    [][2]int
+	Rates1Q   []float64
+	Rates2Q   []float64
+	Instances int
+	Shots     int
+	Traj      int
+	Seed      uint64
+	Backend   string
+}
+
+func (sf sweepFlags) spec(command string, geo experiment.Geometry, depths []int) sweepSpec {
+	return sweepSpec{
+		Command: command, Geometry: geo, Depths: depths,
+		Axes: sf.axes, Orders: sf.orderSets,
+		Rates1Q: sf.rates1q, Rates2Q: sf.rates2q,
+		Instances: sf.budget.Instances, Shots: sf.budget.Shots,
+		Traj: sf.budget.Trajectories,
+		Seed: sf.seed, Backend: sf.backend,
+	}
+}
+
+// openRun creates (or, with -resume, reopens and hash-verifies) the
+// sweep's durable run directory and registers its checkpoint log with
+// the exit path. Returns nil when -rundir is unset.
+func (sf sweepFlags) openRun(command string, spec any) *runstore.Run {
+	if sf.rundir == "" {
+		if sf.resume {
+			fmt.Fprintln(os.Stderr, "-resume requires -rundir")
+			exit(2)
+		}
+		return nil
+	}
+	hash, err := runstore.HashConfig(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(1)
+	}
+	var run *runstore.Run
+	if sf.resume {
+		run, err = runstore.Resume(sf.rundir, hash)
+	} else {
+		run, err = runstore.Create(sf.rundir, runstore.Manifest{
+			Command: command, ConfigHash: hash, Seed: sf.seed,
+			Backend: sf.backend, GitDescribe: runstore.GitDescribe("."),
+			StartTime: time.Now().UTC(),
+		})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(1)
+	}
+	onExit(func() { run.Close() })
+	if sf.resume {
+		fmt.Printf("resuming run %s: %d checkpointed points restored\n", run.Dir(), run.Restored())
+	} else {
+		fmt.Printf("run dir %s (config %s)\n", run.Dir(), hash)
+	}
+	return run
 }
 
 func parseSweepFlags(args []string, name string) sweepFlags {
@@ -177,9 +255,15 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 	backendName := fs.String("backend", backend.DefaultName,
 		"execution backend: "+strings.Join(backend.Names(), "|"))
 	workers := fs.Int("workers", 0, "worker-pool size shared across points and instances (0 = GOMAXPROCS)")
+	rundir := fs.String("rundir", "", "durable run directory: manifest + per-point checkpoint log; artifacts land here")
+	resume := fs.Bool("resume", false, "resume the run in -rundir, skipping checkpointed points")
 	var prof profiler
 	prof.register(fs)
 	fs.Parse(args)
+	if *resume && *rundir == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -rundir")
+		exit(2)
+	}
 
 	var b experiment.Budget
 	switch *budgetName {
@@ -191,7 +275,7 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 		b = experiment.Full
 	default:
 		fmt.Fprintf(os.Stderr, "unknown budget %q\n", *budgetName)
-		os.Exit(2)
+		exit(2)
 	}
 	if *instances > 0 {
 		b.Instances = *instances
@@ -206,14 +290,15 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 	b.Workers = *workers
 	sf := sweepFlags{budget: b, outDir: *out, seed: *seed,
 		rates1q: experiment.PaperRates1Q, rates2q: experiment.PaperRates2Q,
-		backend: *backendName, workers: *workers, prof: prof}
+		backend: *backendName, workers: *workers,
+		rundir: *rundir, resume: *resume, prof: prof}
 	if *rates != "" {
 		var grid []float64
 		for _, tok := range strings.Split(*rates, ",") {
 			var pct float64
 			if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%g", &pct); err != nil {
 				fmt.Fprintf(os.Stderr, "bad rate %q\n", tok)
-				os.Exit(2)
+				exit(2)
 			}
 			grid = append(grid, pct/100)
 		}
@@ -228,13 +313,13 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 		sf.axes = []experiment.ErrorAxis{experiment.Axis1Q, experiment.Axis2Q}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown axis %q\n", *axis)
-		os.Exit(2)
+		exit(2)
 	}
 	for _, tok := range strings.Split(*orders, ",") {
 		var ox, oy int
 		if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d:%d", &ox, &oy); err != nil {
 			fmt.Fprintf(os.Stderr, "bad orders token %q\n", tok)
-			os.Exit(2)
+			exit(2)
 		}
 		sf.orderSets = append(sf.orderSets, [2]int{ox, oy})
 	}
@@ -244,9 +329,14 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 func runFigure(args []string, geo experiment.Geometry, depths []int, name string) {
 	sf := parseSweepFlags(args, name)
 	defer sf.prof.start()()
-	if err := os.MkdirAll(sf.outDir, 0o755); err != nil {
+	run := sf.openRun(name, sf.spec(name, geo, depths))
+	artifactDir := sf.outDir
+	if run != nil {
+		artifactDir = run.Dir()
+	}
+	if err := os.MkdirAll(artifactDir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		exit(1)
 	}
 	ctx, stop := sweepContext()
 	defer stop()
@@ -267,19 +357,26 @@ func runFigure(args []string, geo experiment.Geometry, depths []int, name string
 			}
 			label := fmt.Sprintf("%s_%s_%d%d", name, axis, orders[0], orders[1])
 			fmt.Printf("== panel %s (%d rates x %d depths) ==\n", label, len(rates), len(depths))
-			res, err := experiment.RunPanelCtx(ctx, runner, pc, func(done, total int, r experiment.PointResult) {
+			progress := func(done, total int, r experiment.PointResult) {
 				fmt.Printf("  [%s %3d/%d] rate=%.2f%% d=%-4s -> %.1f%% success (elapsed %s)\n",
 					label, done, total, pointRate(r)*100,
 					experiment.DepthLabel(r.Config.Depth, 8),
 					r.Stats.SuccessRate, time.Since(start).Round(time.Second))
-			})
-			if err != nil {
-				exitSweepErr(err)
 			}
-			path := filepath.Join(sf.outDir, label+".csv")
-			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+			var res experiment.PanelResult
+			var err error
+			if run != nil {
+				res, err = experiment.RunPanelCheckpointCtx(ctx, runner, pc, label, run, progress)
+			} else {
+				res, err = experiment.RunPanelCtx(ctx, runner, pc, progress)
+			}
+			if err != nil {
+				exitSweepErr(err, run)
+			}
+			path := filepath.Join(artifactDir, label+".csv")
+			if err := runstore.WriteArtifact(path, []byte(res.CSV())); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				exit(1)
 			}
 			fmt.Println(res.Table())
 			fmt.Println(res.Plot())
@@ -310,22 +407,32 @@ func pointRate(r experiment.PointResult) float64 {
 func runClaim2Q(args []string) {
 	sf := parseSweepFlags(args, "claim-2q")
 	defer sf.prof.start()()
+	geo := experiment.PaperAddGeometry()
+	rates := []float64{0.007, 0.010}
+	sf.rates1q, sf.rates2q = rates, rates
+	sf.orderSets = [][2]int{{1, 2}, {2, 2}}
+	run := sf.openRun("claim-2q", sf.spec("claim-2q", geo, experiment.AddDepths))
 	ctx, stop := sweepContext()
 	defer stop()
 	runner := sf.runner()
-	geo := experiment.PaperAddGeometry()
-	rates := []float64{0.007, 0.010}
 	fmt.Println("E4 — superposition-order penalty vs 2q error rate (QFA n=8)")
-	for _, orders := range [][2]int{{1, 2}, {2, 2}} {
+	for _, orders := range sf.orderSets {
 		pc := experiment.PanelConfig{
 			Geometry: geo, Axis: experiment.Axis2Q,
 			OrderX: orders[0], OrderY: orders[1],
 			Rates: rates, Depths: experiment.AddDepths,
 			Budget: sf.budget, Seed: sf.seed,
 		}
-		res, err := experiment.RunPanelCtx(ctx, runner, pc, nil)
+		var res experiment.PanelResult
+		var err error
+		if run != nil {
+			label := fmt.Sprintf("claim2q_%d%d", orders[0], orders[1])
+			res, err = experiment.RunPanelCheckpointCtx(ctx, runner, pc, label, run, nil)
+		} else {
+			res, err = experiment.RunPanelCtx(ctx, runner, pc, nil)
+		}
 		if err != nil {
-			exitSweepErr(err)
+			exitSweepErr(err, run)
 		}
 		for i, rate := range rates {
 			best := 0.0
@@ -374,7 +481,7 @@ func runAblateAddCut(args []string) {
 			}
 			r, err := experiment.RunPointCfgCtx(ctx, runner, pc, acfg)
 			if err != nil {
-				exitSweepErr(err)
+				exitSweepErr(err, nil)
 			}
 			succ[i] = r.Stats.SuccessRate
 			twoQ = r.Paper2q

@@ -6,6 +6,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 )
 
 // profiler adds -cpuprofile/-memprofile to a command's flag set and
@@ -25,6 +26,9 @@ func (p *profiler) register(fs *flag.FlagSet) {
 
 // start begins CPU profiling if requested and returns the stop function
 // to defer: it flushes the CPU profile and writes the heap profile.
+// The stop function is idempotent and is also registered with onExit,
+// so an early exit() — a SIGINT-cancelled sweep, a sweep error — still
+// flushes complete profiles instead of leaving truncated files.
 // Exits with status 1 if a profile file cannot be created, since a
 // requested-but-lost profile would silently waste the whole run.
 func (p *profiler) start() func() {
@@ -33,33 +37,37 @@ func (p *profiler) start() func() {
 		f, err := os.Create(*p.cpu)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		cpuFile = f
 	}
-	return func() {
-		if cpuFile != nil {
-			pprof.StopCPUProfile()
-			cpuFile.Close()
-			fmt.Printf("cpu profile written to %s\n", *p.cpu)
-		}
-		if *p.mem != "" {
-			f, err := os.Create(*p.mem)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+				fmt.Printf("cpu profile written to %s\n", *p.cpu)
 			}
-			runtime.GC() // settle the heap so the profile shows live data
-			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+			if *p.mem != "" {
+				f, err := os.Create(*p.mem)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return
+				}
+				runtime.GC() // settle the heap so the profile shows live data
+				if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+				f.Close()
+				fmt.Printf("alloc profile written to %s\n", *p.mem)
 			}
-			f.Close()
-			fmt.Printf("alloc profile written to %s\n", *p.mem)
-		}
+		})
 	}
+	onExit(stop)
+	return stop
 }

@@ -58,7 +58,10 @@ func main() {
 		}
 	}
 
-	mitigated := noise.MitigateReadout(composite, readout)
+	mitigated, err := noise.MitigateReadout(composite, readout)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("\nafter readout mitigation (calibration-matrix inverse):\n")
 	fmt.Printf("%-18s P(correct) = %.3f  (was %.3f)\n", "everything", mitigated[want], composite[want])
 	fmt.Println("\nmitigation removes the classical readout layer exactly; the")

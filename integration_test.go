@@ -188,7 +188,10 @@ func TestMitigationInsideMetricPipeline(t *testing.T) {
 	dist := make([]float64, 16)
 	engine.MixtureInto(dist, st, initial, noise.MixtureOpts{Trajectories: 1, Measure: geo.OutReg}, nil)
 	noisy := noise.ApplyReadoutError(dist, 0.25)
-	fixed := noise.MitigateReadout(noisy, 0.25)
+	fixed, err := noise.MitigateReadout(noisy, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
 	correct := metrics.CorrectSums([]int{x}, []int{y}, 4)
 	s := sim.NewSampler(1, 2)
 	rawScore := metrics.Score(s.Counts(noisy, 2048), correct)

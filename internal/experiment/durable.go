@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"qfarith/internal/backend"
+	"qfarith/internal/layout"
+)
+
+// CheckpointStore is the durable per-point log a resumable sweep
+// records into. *runstore.Run satisfies it; tests may substitute an
+// in-memory fake. Implementations must be safe for concurrent use —
+// panel grid points complete concurrently.
+type CheckpointStore interface {
+	// LookupPoint returns the previously checkpointed payload for key.
+	LookupPoint(key string) (json.RawMessage, bool)
+	// AppendPoint durably records payload under key; it must not return
+	// until the record would survive a crash.
+	AppendPoint(key string, payload any) error
+}
+
+// PointKey names a panel grid cell inside a checkpoint log. Keys are
+// index-based; the run manifest's config hash (verified on resume)
+// guarantees indices mean the same grid coordinates across runs.
+func PointKey(panel string, rateIdx, depthIdx int) string {
+	return fmt.Sprintf("%s/r%02d/d%02d", panel, rateIdx, depthIdx)
+}
+
+func decodePoint(key string, raw json.RawMessage) (PointResult, error) {
+	var pr PointResult
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		return PointResult{}, fmt.Errorf("experiment: corrupt checkpoint %q: %w", key, err)
+	}
+	return pr, nil
+}
+
+// RunPanelCheckpointCtx is RunPanelCtx with durable per-point
+// checkpointing: grid cells already present in ck (under
+// PointKey(panel, rateIdx, depthIdx)) are restored instead of re-run,
+// and every newly completed cell is appended to ck before it counts as
+// done, so an interrupt between progress callbacks loses nothing.
+//
+// Resume invariant: because every cell's RNG streams derive only from
+// (PanelConfig.Seed, grid coordinates) — never from scheduling order —
+// a resumed panel's result is identical to an uninterrupted run's.
+// Restored cells are counted in the progress callback's `done` but do
+// not fire callbacks of their own.
+func RunPanelCheckpointCtx(ctx context.Context, r *backend.Runner, cfg PanelConfig, panel string, ck CheckpointStore, progress func(done, total int, r PointResult)) (PanelResult, error) {
+	return runPanel(ctx, r, cfg, panel, ck, progress)
+}
+
+// RunPointCkptCtx is RunPointCtx behind a checkpoint: if key is already
+// in ck the stored result is returned without simulating; otherwise the
+// point runs and is durably recorded before returning.
+func RunPointCkptCtx(ctx context.Context, r *backend.Runner, cfg PointConfig, key string, ck CheckpointStore) (PointResult, error) {
+	if ck != nil {
+		if raw, ok := ck.LookupPoint(key); ok {
+			return decodePoint(key, raw)
+		}
+	}
+	pr, err := RunPointCtx(ctx, r, cfg)
+	if err != nil {
+		return PointResult{}, err
+	}
+	if ck != nil {
+		if err := ck.AppendPoint(key, pr); err != nil {
+			return PointResult{}, err
+		}
+	}
+	return pr, nil
+}
+
+// RunRoutedPointCkptCtx is RunRoutedPointCtx behind a checkpoint, with
+// the same contract as RunPointCkptCtx: routed ablation points are the
+// slowest single points in the suite, so a killed topology sweep
+// resumes without repeating finished topologies.
+func RunRoutedPointCkptCtx(ctx context.Context, r *backend.Runner, cfg PointConfig, cm *layout.CouplingMap, key string, ck CheckpointStore) (PointResult, error) {
+	if ck != nil {
+		if raw, ok := ck.LookupPoint(key); ok {
+			return decodePoint(key, raw)
+		}
+	}
+	pr, err := RunRoutedPointCtx(ctx, r, cfg, cm)
+	if err != nil {
+		return PointResult{}, err
+	}
+	if ck != nil {
+		if err := ck.AppendPoint(key, pr); err != nil {
+			return PointResult{}, err
+		}
+	}
+	return pr, nil
+}

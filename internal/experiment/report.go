@@ -77,6 +77,11 @@ func ParseCSV(content string) ([]CSVRow, error) {
 	}
 	var rows []CSVRow
 	for ln, line := range lines[1:] {
+		if t := strings.TrimSpace(line); t == "" || strings.HasPrefix(t, "#") {
+			// Blank lines and comments — including the checksum footer
+			// runstore.WriteArtifact appends — are not data rows.
+			continue
+		}
 		f := strings.Split(line, ",")
 		if len(f) < len(header) {
 			return nil, fmt.Errorf("experiment: line %d has %d fields, want %d", ln+2, len(f), len(header))
@@ -103,11 +108,17 @@ func ParseCSV(content string) ([]CSVRow, error) {
 			Op: get("op"), Axis: get("axis"), RatePct: rate, Depth: get("depth"),
 			OrderX: ox, OrderY: oy, Success: succ,
 		}
+		// Optional columns must still parse when present: fabricating 0.0
+		// for a corrupt cell would silently skew every downstream report.
 		if _, ok := col["mean_fidelity"]; ok {
-			row.Fidelity, _ = num("mean_fidelity")
+			if row.Fidelity, err = num("mean_fidelity"); err != nil {
+				return nil, fmt.Errorf("experiment: line %d: mean_fidelity: %w", ln+2, err)
+			}
 		}
 		if _, ok := col["w0"]; ok {
-			row.W0, _ = num("w0")
+			if row.W0, err = num("w0"); err != nil {
+				return nil, fmt.Errorf("experiment: line %d: w0: %w", ln+2, err)
+			}
 		}
 		rows = append(rows, row)
 	}

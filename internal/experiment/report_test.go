@@ -86,6 +86,60 @@ func TestParseCSVErrors(t *testing.T) {
 	}
 }
 
+// TestParseCSVCorruptOptionalColumns is the regression test for the
+// silent-zeroing bug: a corrupt mean_fidelity or w0 cell used to be
+// swallowed (`row.Fidelity, _ = num(...)`) and fabricated as 0.0,
+// skewing every downstream report. It must now be a parse error naming
+// the line.
+func TestParseCSVCorruptOptionalColumns(t *testing.T) {
+	header := "op,axis,rate_pct,depth,order_x,order_y,success_pct,mean_fidelity,w0\n"
+	good := "qfa,2q,1.000,1,1,1,50.00,0.9000,0.80000\n"
+	for _, tc := range []struct {
+		name string
+		row  string
+		want string
+	}{
+		{"corrupt mean_fidelity", "qfa,2q,1.000,1,1,1,50.00,not-a-number,0.80000\n", "mean_fidelity"},
+		{"corrupt w0", "qfa,2q,1.000,1,1,1,50.00,0.9000,###\n", "w0"},
+	} {
+		_, err := experiment.ParseCSV(header + good + tc.row)
+		if err == nil {
+			t.Errorf("%s: expected error, got nil", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name the column", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), "line 3") {
+			t.Errorf("%s: error %q does not name line 3", tc.name, err)
+		}
+	}
+	rows, err := experiment.ParseCSV(header + good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Fidelity != 0.9 || rows[0].W0 != 0.8 {
+		t.Errorf("valid optional columns misparsed: %+v", rows[0])
+	}
+}
+
+// TestParseCSVSkipsCommentsAndFooter: runstore.WriteArtifact appends a
+// `# sha256=...` checksum footer; the parser must treat it (and blank
+// lines) as non-data.
+func TestParseCSVSkipsCommentsAndFooter(t *testing.T) {
+	content := "op,axis,rate_pct,depth,order_x,order_y,success_pct\n" +
+		"qfa,2q,1.000,1,1,1,50.00\n" +
+		"\n" +
+		"# sha256=0123456789abcdef\n"
+	rows, err := experiment.ParseCSV(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("parsed %d rows, want 1", len(rows))
+	}
+}
+
 func TestReportFromCSVEmpty(t *testing.T) {
 	if out := experiment.ReportFromCSV(nil); !strings.Contains(out, "no rows") {
 		t.Errorf("got %q", out)

@@ -1,0 +1,134 @@
+package experiment_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"qfarith/internal/backend"
+	"qfarith/internal/experiment"
+	"qfarith/internal/runstore"
+)
+
+func newTrajRunner(workers int) *backend.Runner {
+	return backend.NewRunner(backend.NewTrajectoryBackend(), workers)
+}
+
+// TestPanelResumeMatchesUninterrupted is the durable-run acceptance
+// test: cancel a checkpointed panel after N completed points (the
+// in-process analogue of SIGINT/kill), resume from the run directory,
+// and require the merged CSV to be byte-identical to an uninterrupted
+// fixed-seed run.
+func TestPanelResumeMatchesUninterrupted(t *testing.T) {
+	pc := smallSweepPanel()
+	const panel = "fig3_test"
+
+	// Reference: uninterrupted run, no checkpointing.
+	ref, err := experiment.RunPanelCtx(context.Background(), newTrajRunner(2), pc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "run")
+	hash, err := runstore.HashConfig(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := runstore.Create(dir, runstore.Manifest{Command: "test", ConfigHash: hash})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First attempt: cancel after 2 points have been checkpointed.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err = experiment.RunPanelCheckpointCtx(ctx, newTrajRunner(2), pc, panel, run,
+		func(done, total int, _ experiment.PointResult) {
+			if done >= 2 {
+				cancel()
+			}
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	run.Close()
+
+	// Resume: hash-verified reopen must restore the checkpointed points
+	// and run only the remainder.
+	resumed, err := runstore.Resume(dir, hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	restored := resumed.Restored()
+	if restored < 2 {
+		t.Fatalf("only %d points survived the interrupt, want >= 2", restored)
+	}
+	total := len(pc.Rates) * len(pc.Depths)
+	if restored >= total {
+		t.Fatalf("all %d points checkpointed — the interrupt landed too late to test resume", total)
+	}
+
+	fresh := 0
+	res, err := experiment.RunPanelCheckpointCtx(context.Background(), newTrajRunner(2), pc, panel, resumed,
+		func(done, total int, _ experiment.PointResult) { fresh++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh != total-restored {
+		t.Errorf("resume re-ran %d points, want %d (restored %d of %d)", fresh, total-restored, restored, total)
+	}
+	if got, want := res.CSV(), ref.CSV(); got != want {
+		t.Errorf("resumed CSV differs from uninterrupted run:\n--- resumed ---\n%s--- uninterrupted ---\n%s", got, want)
+	}
+}
+
+// TestPanelCheckpointFullRerunIsFree: resuming a fully checkpointed run
+// simulates nothing and still reproduces the CSV exactly.
+func TestPanelCheckpointFullRerunIsFree(t *testing.T) {
+	pc := smallSweepPanel()
+	dir := filepath.Join(t.TempDir(), "run")
+	run, err := runstore.Create(dir, runstore.Manifest{Command: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+
+	first, err := experiment.RunPanelCheckpointCtx(context.Background(), newTrajRunner(4), pc, "p", run, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	second, err := experiment.RunPanelCheckpointCtx(context.Background(), newTrajRunner(4), pc, "p", run,
+		func(int, int, experiment.PointResult) { calls++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Errorf("full rerun simulated %d points, want 0", calls)
+	}
+	if first.CSV() != second.CSV() {
+		t.Error("restored-only panel CSV differs from computed panel CSV")
+	}
+}
+
+// failStore is a CheckpointStore whose appends always fail, for
+// failure-injection tests.
+type failStore struct{ err error }
+
+func (f *failStore) LookupPoint(string) (json.RawMessage, bool) { return nil, false }
+func (f *failStore) AppendPoint(key string, payload any) error  { return f.err }
+
+// TestPanelCheckpointAppendFailureSurfaces: a checkpoint write error
+// must abort the sweep — silently continuing would let a "durable" run
+// lose points.
+func TestPanelCheckpointAppendFailureSurfaces(t *testing.T) {
+	pc := smallSweepPanel()
+	wantErr := errors.New("disk full")
+	_, err := experiment.RunPanelCheckpointCtx(context.Background(), newTrajRunner(2), pc, "p", &failStore{err: wantErr}, nil)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want the injected append failure", err)
+	}
+}

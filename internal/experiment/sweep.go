@@ -150,6 +150,13 @@ func RunPanel(cfg PanelConfig, progress func(done, total int, r PointResult)) Pa
 // Cancelling ctx stops the sweep mid-grid: no new instances are
 // scheduled, in-flight instances drain, and ctx.Err() is returned.
 func RunPanelCtx(ctx context.Context, r *backend.Runner, cfg PanelConfig, progress func(done, total int, r PointResult)) (PanelResult, error) {
+	return runPanel(ctx, r, cfg, "", nil, progress)
+}
+
+// runPanel is the shared panel core: the plain path (ck == nil) and
+// the durable checkpoint/resume path (RunPanelCheckpointCtx) differ
+// only in whether cells are restored from / recorded into ck.
+func runPanel(ctx context.Context, r *backend.Runner, cfg PanelConfig, panel string, ck CheckpointStore, progress func(done, total int, r PointResult)) (PanelResult, error) {
 	out := PanelResult{Config: cfg, Points: make([][]PointResult, len(cfg.Rates))}
 	for i := range out.Points {
 		out.Points[i] = make([]PointResult, len(cfg.Depths))
@@ -163,10 +170,28 @@ func RunPanelCtx(ctx context.Context, r *backend.Runner, cfg PanelConfig, progre
 	)
 	for i, rate := range cfg.Rates {
 		for j, d := range cfg.Depths {
+			key := ""
+			if ck != nil {
+				key = PointKey(panel, i, j)
+				if raw, ok := ck.LookupPoint(key); ok {
+					pr, err := decodePoint(key, raw)
+					if err != nil {
+						return PanelResult{}, err
+					}
+					out.Points[i][j] = pr
+					done++
+					continue
+				}
+			}
 			wg.Add(1)
-			go func(i, j int, pc PointConfig) {
+			go func(i, j int, key string, pc PointConfig) {
 				defer wg.Done()
 				pr, err := RunPointCtx(ctx, r, pc)
+				if err == nil && ck != nil {
+					// Record before acknowledging: a crash after the
+					// progress callback must never lose the point.
+					err = ck.AppendPoint(key, pr)
+				}
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil {
@@ -180,7 +205,7 @@ func RunPanelCtx(ctx context.Context, r *backend.Runner, cfg PanelConfig, progre
 				if progress != nil {
 					progress(done, total, pr)
 				}
-			}(i, j, cfg.PointAt(rate, d))
+			}(i, j, key, cfg.PointAt(rate, d))
 		}
 	}
 	wg.Wait()

@@ -130,6 +130,9 @@ func TestCheckpointedMixtureBitIdentical(t *testing.T) {
 // disabled for the measurement because a collection mid-run legitimately
 // empties the sync.Pools and forces refills.
 func TestMixtureSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; alloc contract is checked in the non-race run")
+	}
 	c := arith.NewQFA(3, 4, arith.Config{Depth: 3, AddCut: arith.FullAdd})
 	e := noise.NewEngine(transpile.Transpile(c), noise.PaperModel(0.004, 0.01))
 	measure := arith.Range(3, 4)

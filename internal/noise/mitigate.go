@@ -1,5 +1,7 @@
 package noise
 
+import "fmt"
+
 // Readout-error mitigation in the calibration-matrix style of
 // Leymann & Barzen (the paper's Ref. [5]) — the "impact of error
 // mitigation" item the paper defers to future work. For the symmetric
@@ -13,15 +15,26 @@ package noise
 // can produce small negative entries (it is not a stochastic matrix);
 // they are clipped and the result renormalized, the standard practical
 // recipe.
-func MitigateReadout(observed []float64, flip float64) []float64 {
-	out := append([]float64(nil), observed...)
-	if flip <= 0 {
-		return out
+//
+// The distribution length must be a power of two (one bin per outcome
+// of a w-bit register) and flip must lie in [0, 0.5): the bit channel
+// is non-invertible at 0.5 and label-swapped beyond. Violations return
+// an error rather than panicking — observed distributions and flip
+// rates are typically runtime data (CLI flags, calibration files), not
+// programmer constants.
+func MitigateReadout(observed []float64, flip float64) ([]float64, error) {
+	if len(observed) == 0 || len(observed)&(len(observed)-1) != 0 {
+		return nil, fmt.Errorf("noise: distribution length %d is not a power of two", len(observed))
+	}
+	if flip < 0 {
+		return nil, fmt.Errorf("noise: readout flip probability %g is negative", flip)
 	}
 	if flip >= 0.5 {
-		// The bit channel is non-invertible at 0.5 and label-swapped
-		// beyond; refuse rather than amplify noise unboundedly.
-		panic("noise: readout flip probability must be < 0.5 to mitigate")
+		return nil, fmt.Errorf("noise: readout flip probability %g is not mitigable (channel non-invertible at 0.5)", flip)
+	}
+	out := append([]float64(nil), observed...)
+	if flip == 0 {
+		return out, nil
 	}
 	w := 0
 	for 1<<uint(w) < len(observed) {
@@ -53,5 +66,5 @@ func MitigateReadout(observed []float64, flip float64) []float64 {
 			out[i] /= total
 		}
 	}
-	return out
+	return out, nil
 }

@@ -8,11 +8,20 @@ import (
 	"qfarith/internal/noise"
 )
 
+func mitigate(t *testing.T, observed []float64, flip float64) []float64 {
+	t.Helper()
+	out, err := noise.MitigateReadout(observed, flip)
+	if err != nil {
+		t.Fatalf("MitigateReadout(len %d, flip %g): %v", len(observed), flip, err)
+	}
+	return out
+}
+
 func TestMitigateInvertsReadout(t *testing.T) {
 	ideal := []float64{0.7, 0, 0.1, 0.2, 0, 0, 0, 0}
 	for _, flip := range []float64{0.01, 0.05, 0.2} {
 		observed := noise.ApplyReadoutError(ideal, flip)
-		recovered := noise.MitigateReadout(observed, flip)
+		recovered := mitigate(t, observed, flip)
 		for i := range ideal {
 			if d := math.Abs(recovered[i] - ideal[i]); d > 1e-9 {
 				t.Errorf("flip=%g bin %d: recovered %g, want %g", flip, i, recovered[i], ideal[i])
@@ -23,7 +32,7 @@ func TestMitigateInvertsReadout(t *testing.T) {
 
 func TestMitigateZeroFlipIsIdentity(t *testing.T) {
 	d := []float64{0.25, 0.75}
-	out := noise.MitigateReadout(d, 0)
+	out := mitigate(t, d, 0)
 	if out[0] != 0.25 || out[1] != 0.75 {
 		t.Errorf("zero flip changed distribution: %v", out)
 	}
@@ -34,7 +43,7 @@ func TestMitigateClipsNegatives(t *testing.T) {
 	// fluctuation) can invert to negative entries; the result must stay
 	// a valid distribution.
 	observed := []float64{0.02, 0.98}
-	out := noise.MitigateReadout(observed, 0.3)
+	out := mitigate(t, observed, 0.3)
 	var sum float64
 	for _, p := range out {
 		if p < 0 {
@@ -47,13 +56,33 @@ func TestMitigateClipsNegatives(t *testing.T) {
 	}
 }
 
-func TestMitigatePanicsAtHalf(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic at flip = 0.5")
+func TestMitigateRejectsHalfFlip(t *testing.T) {
+	for _, flip := range []float64{0.5, 0.75, 1} {
+		if _, err := noise.MitigateReadout([]float64{0.5, 0.5}, flip); err == nil {
+			t.Errorf("flip=%g: expected error, got nil", flip)
 		}
-	}()
-	noise.MitigateReadout([]float64{0.5, 0.5}, 0.5)
+	}
+}
+
+func TestMitigateRejectsNegativeFlip(t *testing.T) {
+	if _, err := noise.MitigateReadout([]float64{0.5, 0.5}, -0.1); err == nil {
+		t.Error("negative flip: expected error, got nil")
+	}
+}
+
+// TestMitigateRejectsNonPowerOfTwo is the regression test for the
+// out-of-range indexing bug: a 6-bin distribution used to index
+// out[v^mask] past the slice end (v=2, mask=4 → 6) and panic.
+func TestMitigateRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 3, 5, 6, 7, 12} {
+		observed := make([]float64, n)
+		for i := range observed {
+			observed[i] = 1 / float64(n)
+		}
+		if _, err := noise.MitigateReadout(observed, 0.1); err == nil {
+			t.Errorf("len=%d: expected error, got nil", n)
+		}
+	}
 }
 
 func TestMitigateRoundTripProperty(t *testing.T) {
@@ -74,7 +103,10 @@ func TestMitigateRoundTripProperty(t *testing.T) {
 			ideal[i] /= tot
 		}
 		flip := 0.25 * next()
-		recovered := noise.MitigateReadout(noise.ApplyReadoutError(ideal, flip), flip)
+		recovered, err := noise.MitigateReadout(noise.ApplyReadoutError(ideal, flip), flip)
+		if err != nil {
+			return false
+		}
 		for i := range ideal {
 			if math.Abs(recovered[i]-ideal[i]) > 1e-9 {
 				return false
@@ -97,7 +129,7 @@ func TestMitigationRecoversSuccessMetric(t *testing.T) {
 	ideal[9] = 0.5
 	flip := 0.15
 	observed := noise.ApplyReadoutError(ideal, flip)
-	mitigated := noise.MitigateReadout(observed, flip)
+	mitigated := mitigate(t, observed, flip)
 	// Observed leaks notable mass to neighbors; mitigated restores it.
 	if observed[3] > 0.35 {
 		t.Fatalf("test premise broken: observed[3] = %g", observed[3])

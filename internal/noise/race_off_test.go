@@ -1,0 +1,5 @@
+//go:build !race
+
+package noise_test
+
+const raceEnabled = false

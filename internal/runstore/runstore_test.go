@@ -1,0 +1,272 @@
+package runstore_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"qfarith/internal/runstore"
+)
+
+func testManifest(hash string) runstore.Manifest {
+	return runstore.Manifest{Command: "fig3", ConfigHash: hash, Seed: 42, Backend: "trajectory"}
+}
+
+func TestCreateResumeRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	run, err := runstore.Create(dir, testManifest("abc123"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type payload struct{ X, Y float64 }
+	if err := run.AppendPoint("p/r00/d00", payload{1.5, 2.25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.AppendPoint("p/r00/d01", payload{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := runstore.Resume(dir, "abc123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if got := resumed.Restored(); got != 2 {
+		t.Errorf("Restored() = %d, want 2", got)
+	}
+	if m := resumed.Manifest(); m.Command != "fig3" || m.Seed != 42 {
+		t.Errorf("manifest did not round-trip: %+v", m)
+	}
+	raw, ok := resumed.LookupPoint("p/r00/d00")
+	if !ok {
+		t.Fatal("checkpointed point missing after resume")
+	}
+	var p payload
+	if err := json.Unmarshal(raw, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.X != 1.5 || p.Y != 2.25 {
+		t.Errorf("payload = %+v, want {1.5 2.25}", p)
+	}
+	// Appending after resume extends, not truncates, the log.
+	if err := resumed.AppendPoint("p/r01/d00", payload{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	resumed.Close()
+	again, err := runstore.Resume(dir, "abc123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if got := again.Restored(); got != 3 {
+		t.Errorf("after second append, Restored() = %d, want 3", got)
+	}
+}
+
+func TestResumeRejectsConfigHashMismatch(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	run, err := runstore.Create(dir, testManifest("hash-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Close()
+	if _, err := runstore.Resume(dir, "hash-b"); err == nil {
+		t.Fatal("Resume accepted a mismatched config hash")
+	} else if !strings.Contains(err.Error(), "hash") {
+		t.Errorf("error does not mention the hash: %v", err)
+	}
+	// Empty wantHash skips the check (tools that only read the log).
+	if _, err := runstore.Resume(dir, ""); err != nil {
+		t.Errorf("Resume with empty hash failed: %v", err)
+	}
+}
+
+func TestCreateRefusesExistingRun(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	run, err := runstore.Create(dir, testManifest("h"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Close()
+	if _, err := runstore.Create(dir, testManifest("h")); err == nil {
+		t.Fatal("Create overwrote an existing run directory")
+	}
+}
+
+// TestResumeDropsTornTail: a crash mid-append leaves a final line
+// without its record fully written; Resume must drop exactly that line
+// and keep every acknowledged record.
+func TestResumeDropsTornTail(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	run, err := runstore.Create(dir, testManifest("h"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.AppendPoint("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.AppendPoint("b", 2); err != nil {
+		t.Fatal(err)
+	}
+	run.Close()
+	logPath := filepath.Join(dir, "points.jsonl")
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"c","point":`) // torn: crash mid-write
+	f.Close()
+
+	resumed, err := runstore.Resume(dir, "h")
+	if err != nil {
+		t.Fatalf("Resume failed on torn tail: %v", err)
+	}
+	defer resumed.Close()
+	if got := resumed.Restored(); got != 2 {
+		t.Errorf("Restored() = %d, want 2 (torn tail dropped)", got)
+	}
+	if _, ok := resumed.LookupPoint("c"); ok {
+		t.Error("torn record surfaced as a checkpoint")
+	}
+}
+
+// TestResumeRejectsMidLogCorruption: a bad record that is NOT the final
+// line means real corruption, not a torn append — refuse to resume.
+func TestResumeRejectsMidLogCorruption(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	run, err := runstore.Create(dir, testManifest("h"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Close()
+	log := `{"key":"a","point":1}` + "\n" + `garbage` + "\n" + `{"key":"b","point":2}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "points.jsonl"), []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runstore.Resume(dir, "h"); err == nil {
+		t.Fatal("Resume accepted mid-log corruption")
+	}
+}
+
+func TestHashConfigDiscriminates(t *testing.T) {
+	type cfg struct {
+		Seed  uint64
+		Rates []float64
+	}
+	h1, err := runstore.HashConfig(cfg{1, []float64{0, 0.01}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := runstore.HashConfig(cfg{1, []float64{0, 0.02}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1b, err := runstore.HashConfig(cfg{1, []float64{0, 0.01}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Error("different configs hashed equal")
+	}
+	if h1 != h1b {
+		t.Error("equal configs hashed different")
+	}
+}
+
+func TestWriteReadArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "panel.csv")
+	data := []byte("op,axis\nqfa,1q\n")
+	if err := runstore.WriteArtifact(path, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := runstore.ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Errorf("payload = %q, want %q", got, data)
+	}
+	raw, _ := os.ReadFile(path)
+	if !strings.Contains(string(raw), "# sha256=") {
+		t.Error("artifact lacks checksum footer")
+	}
+	// No temp files may remain next to the artifact.
+	entries, _ := os.ReadDir(filepath.Dir(path))
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestVerifyArtifactDetectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.csv")
+	if err := runstore.WriteArtifact(path, []byte("hello,world\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := runstore.VerifyArtifact(path); err != nil {
+		t.Fatalf("fresh artifact failed verification: %v", err)
+	}
+	raw, _ := os.ReadFile(path)
+	raw[0] ^= 1
+	os.WriteFile(path, raw, 0o644)
+	if err := runstore.VerifyArtifact(path); err == nil {
+		t.Fatal("corrupted artifact passed verification")
+	}
+	// Truncation (the partial-write signature) must also be caught.
+	if err := os.WriteFile(path, []byte("hello,wo"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runstore.VerifyArtifact(path); err == nil {
+		t.Fatal("truncated artifact passed verification")
+	}
+}
+
+// TestWriteArtifactAtomicUnderConcurrentReads hammers one path with
+// rewrites while readers verify: because writes go temp-then-rename, a
+// reader must only ever observe a complete artifact whose checksum
+// verifies — never a partial write at the final path.
+func TestWriteArtifactAtomicUnderConcurrentReads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hot.csv")
+	contents := [][]byte{
+		[]byte(strings.Repeat("aaaa,bbbb,cccc\n", 200)),
+		[]byte(strings.Repeat("dddd,eeee,ffff\n", 300)),
+	}
+	if err := runstore.WriteArtifact(path, contents[0]); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := runstore.WriteArtifact(path, contents[i%2]); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		data, err := runstore.ReadArtifact(path)
+		if err != nil {
+			t.Fatalf("read %d observed a partial artifact: %v", i, err)
+		}
+		if string(data) != string(contents[0]) && string(data) != string(contents[1]) {
+			t.Fatalf("read %d observed mixed content (%d bytes)", i, len(data))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
