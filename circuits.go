@@ -1,8 +1,11 @@
 package qfarith
 
 import (
+	"time"
+
 	"qfarith/internal/arith"
 	"qfarith/internal/circuit"
+	"qfarith/internal/compile"
 	"qfarith/internal/qft"
 	"qfarith/internal/transpile"
 )
@@ -13,28 +16,77 @@ type circuitAlias = circuit.Circuit
 
 func circuitNew(n int) *circuitAlias { return circuit.New(n) }
 
+// PassStat summarizes what one compilation pass did to the circuit; the
+// exported mirror of the internal compile pipeline's per-pass stats.
+type PassStat struct {
+	// Pass is the pass name ("decompose", "fuse", ...).
+	Pass string
+	// Ops/OneQ/TwoQ/Depth report the gate list before and after the pass.
+	OpsBefore, OpsAfter     int
+	OneQBefore, OneQAfter   int
+	TwoQBefore, TwoQAfter   int
+	DepthBefore, DepthAfter int
+	// Wall is the pass's compilation wall time.
+	Wall time.Duration
+	// Segments is the fused-plan segment count (fuse pass only).
+	Segments int
+	// Swaps is the number of SWAPs inserted (route pass only).
+	Swaps int
+}
+
 // CircuitInfo describes a constructed arithmetic circuit without
 // exposing the internal IR.
 type CircuitInfo struct {
-	Qubits   int
-	Ops      int
-	Depth    int // circuit depth (ASAP layering), not the AQFT depth
-	Gates    GateCounts
-	Listing  string // OpenQASM-like gate listing
-	AQFTFull bool   // whether the AQFT depth left the transform exact
+	Qubits int
+	Ops    int
+	// Depth is the logical circuit depth (ASAP layering over the source
+	// gate list, before transpilation) — not the AQFT approximation
+	// depth. NativeDepth is the depth after lowering to the IBM native
+	// basis {id, x, rz, sx, cx}: the depth the noise model actually sees,
+	// always ≥ Depth since every decomposition only adds gates.
+	Depth       int
+	NativeDepth int
+	Gates       GateCounts
+	Listing     string // OpenQASM-like gate listing
+	AQFTFull    bool   // whether the AQFT depth left the transform exact
+	// Passes reports the compilation pipeline's per-pass statistics, in
+	// execution order (the default decompose+fuse pipeline).
+	Passes []PassStat
 }
 
 func describe(c *circuitAlias, aqftDepth, regWidth int) CircuitInfo {
-	r := transpile.Transpile(c)
-	n1, n2 := r.CountByArity()
+	p, err := compile.New(compile.Config{})
+	if err != nil {
+		panic("qfarith: " + err.Error())
+	}
+	art, err := p.Compile(c)
+	if err != nil {
+		panic("qfarith: " + err.Error())
+	}
+	n1, n2 := art.Result.CountByArity()
 	p1, p2 := transpile.PaperCounts(c)
+	passes := make([]PassStat, len(art.Stats))
+	for i, st := range art.Stats {
+		passes[i] = PassStat{
+			Pass:      st.Pass,
+			OpsBefore: st.OpsBefore, OpsAfter: st.OpsAfter,
+			OneQBefore: st.OneQBefore, OneQAfter: st.OneQAfter,
+			TwoQBefore: st.TwoQBefore, TwoQAfter: st.TwoQAfter,
+			DepthBefore: st.DepthBefore, DepthAfter: st.DepthAfter,
+			Wall:     st.Wall,
+			Segments: st.Segments,
+			Swaps:    st.Swaps,
+		}
+	}
 	return CircuitInfo{
-		Qubits:   c.NumQubits,
-		Ops:      len(c.Ops),
-		Depth:    c.Depth(),
-		Gates:    GateCounts{Paper1q: p1, Paper2q: p2, Native1q: n1, Native2q: n2},
-		Listing:  c.String(),
-		AQFTFull: qft.IsFull(aqftDepth, regWidth),
+		Qubits:      c.NumQubits,
+		Ops:         len(c.Ops),
+		Depth:       art.SourceDepth,
+		NativeDepth: art.NativeDepth,
+		Gates:       GateCounts{Paper1q: p1, Paper2q: p2, Native1q: n1, Native2q: n2},
+		Listing:     c.String(),
+		AQFTFull:    qft.IsFull(aqftDepth, regWidth),
+		Passes:      passes,
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"qfarith/internal/arith"
 	"qfarith/internal/backend"
 	"qfarith/internal/circuit"
+	"qfarith/internal/compile"
 	"qfarith/internal/experiment"
 	"qfarith/internal/layout"
 	"qfarith/internal/noise"
@@ -30,6 +31,13 @@ func runQASM(args []string) {
 	xbits := fs.Int("x", 7, "addend/multiplier width")
 	ybits := fs.Int("y", 8, "sum-register/multiplicand width")
 	native := fs.Bool("native", false, "transpile to the IBM basis {id,x,rz,sx,cx} first")
+	// -native exports always ran the peephole cleanup, so its passes are
+	// the default here (unlike sweeps, where optimization is opt-in).
+	passes := fs.String("passes", strings.Join([]string{
+		compile.PassDecompose, compile.PassCancelInverses,
+		compile.PassFoldAngles, compile.PassPruneZeroAngle,
+	}, ","), "compilation pass list for -native, comma-separated")
+	compileDebug := fs.Bool("compile-debug", false, "verify statevector equivalence after every compilation pass")
 	fs.Parse(args)
 	d := *depth
 	if d <= 0 {
@@ -49,7 +57,9 @@ func runQASM(args []string) {
 		exit(2)
 	}
 	if *native {
-		c = transpileCircuit(c)
+		c = compileForExport(c, compile.Config{
+			Passes: compile.ParsePasses(*passes), Debug: *compileDebug,
+		})
 	}
 	fmt.Print(qasm.Export(c))
 }
@@ -110,6 +120,8 @@ func runAblateRouting(args []string) {
 	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	rundir := fs.String("rundir", "", "durable run directory (per-topology checkpoints)")
 	resume := fs.Bool("resume", false, "resume the run in -rundir, skipping checkpointed topologies")
+	var cf compileFlags
+	cf.register(fs)
 	var prof profiler
 	prof.register(fs)
 	fs.Parse(args)
@@ -125,6 +137,7 @@ func runAblateRouting(args []string) {
 		OrderX: 1, OrderY: 2,
 		Instances: *instances, Shots: 2048, Trajectories: *traj,
 		RowSeed: 1001, PointSeed: 1002,
+		Pipeline: cf.config(),
 	}
 	// Routed points are the slowest single points in the suite, so the
 	// topology loop checkpoints per topology when -rundir is given.
@@ -175,10 +188,13 @@ func runScaling(args []string) {
 	backendName := fs.String("backend", backend.DefaultName,
 		"execution backend: "+strings.Join(backend.Names(), "|")+" (density caps n at 5)")
 	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	var cf compileFlags
+	cf.register(fs)
 	var prof profiler
 	prof.register(fs)
 	fs.Parse(args)
 	defer prof.start()()
+	pcfg := cf.config()
 	ctx, stop := sweepContext()
 	defer stop()
 	runner := newRunnerOrExit(*backendName, *workers)
@@ -216,6 +232,7 @@ func runScaling(args []string) {
 					Instances: *instances, Shots: *shots, Trajectories: *traj,
 					RowSeed:   splitMix(77, uint64(n)),
 					PointSeed: splitMix(78, uint64(n)<<16|uint64(d)<<8|uint64(p2*1000)),
+					Pipeline:  pcfg,
 				}
 				r, err := experiment.RunPointCtx(ctx, runner, cfg)
 				if err != nil {
@@ -326,6 +343,19 @@ func runReport(args []string) {
 // circuitT aliases the internal circuit type for this command's helpers.
 type circuitT = circuit.Circuit
 
-func transpileCircuit(c *circuitT) *circuitT {
-	return transpile.Optimize(transpile.Transpile(c).Circuit())
+// compileForExport runs c through the given pass pipeline and returns
+// the native circuit, exiting on an invalid pipeline or a debug-mode
+// verification failure.
+func compileForExport(c *circuitT, pcfg compile.Config) *circuitT {
+	p, err := compile.New(pcfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(2)
+	}
+	art, err := p.Compile(c)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(1)
+	}
+	return art.Result.Circuit()
 }

@@ -30,6 +30,7 @@ import (
 
 	"qfarith/internal/arith"
 	"qfarith/internal/backend"
+	"qfarith/internal/compile"
 	"qfarith/internal/experiment"
 	"qfarith/internal/metrics"
 	"qfarith/internal/noise"
@@ -131,6 +132,7 @@ type sweepFlags struct {
 	workers   int
 	rundir    string
 	resume    bool
+	pipeline  compile.Config
 	prof      profiler
 }
 
@@ -189,6 +191,10 @@ type sweepSpec struct {
 	Traj      int
 	Seed      uint64
 	Backend   string
+	// Pipeline is the compile.Config hash: two pass configurations with
+	// different compiled output hash differently, so -resume refuses a
+	// run whose pass list or coupling changed.
+	Pipeline string
 }
 
 func (sf sweepFlags) spec(command string, geo experiment.Geometry, depths []int) sweepSpec {
@@ -199,6 +205,7 @@ func (sf sweepFlags) spec(command string, geo experiment.Geometry, depths []int)
 		Instances: sf.budget.Instances, Shots: sf.budget.Shots,
 		Traj: sf.budget.Trajectories,
 		Seed: sf.seed, Backend: sf.backend,
+		Pipeline: sf.pipeline.Hash(),
 	}
 }
 
@@ -224,8 +231,9 @@ func (sf sweepFlags) openRun(command string, spec any) *runstore.Run {
 	} else {
 		run, err = runstore.Create(sf.rundir, runstore.Manifest{
 			Command: command, ConfigHash: hash, Seed: sf.seed,
-			Backend: sf.backend, GitDescribe: runstore.GitDescribe("."),
-			StartTime: time.Now().UTC(),
+			Backend: sf.backend, Pipeline: sf.pipeline.Hash(),
+			GitDescribe: runstore.GitDescribe("."),
+			StartTime:   time.Now().UTC(),
 		})
 	}
 	if err != nil {
@@ -257,6 +265,8 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 	workers := fs.Int("workers", 0, "worker-pool size shared across points and instances (0 = GOMAXPROCS)")
 	rundir := fs.String("rundir", "", "durable run directory: manifest + per-point checkpoint log; artifacts land here")
 	resume := fs.Bool("resume", false, "resume the run in -rundir, skipping checkpointed points")
+	var cf compileFlags
+	cf.register(fs)
 	var prof profiler
 	prof.register(fs)
 	fs.Parse(args)
@@ -264,6 +274,7 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 		fmt.Fprintln(os.Stderr, "-resume requires -rundir")
 		exit(2)
 	}
+	pcfg := cf.config()
 
 	var b experiment.Budget
 	switch *budgetName {
@@ -291,7 +302,7 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 	sf := sweepFlags{budget: b, outDir: *out, seed: *seed,
 		rates1q: experiment.PaperRates1Q, rates2q: experiment.PaperRates2Q,
 		backend: *backendName, workers: *workers,
-		rundir: *rundir, resume: *resume, prof: prof}
+		rundir: *rundir, resume: *resume, pipeline: pcfg, prof: prof}
 	if *rates != "" {
 		var grid []float64
 		for _, tok := range strings.Split(*rates, ",") {
@@ -326,6 +337,63 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 	return sf
 }
 
+// compileFlags registers the compilation-pipeline flags shared by every
+// circuit-running subcommand (sweeps, scaling, ablate-routing).
+type compileFlags struct {
+	passes   *string
+	coupling *string
+	debug    *bool
+}
+
+func (cf *compileFlags) register(fs *flag.FlagSet) {
+	cf.passes = fs.String("passes", compile.DefaultString(),
+		"compilation pass list, comma-separated (known: "+strings.Join(compile.KnownPasses(), ",")+")")
+	cf.coupling = fs.String("coupling", "",
+		"coupling map for the route pass: linear:N, grid:RxC, heavyhex27")
+	cf.debug = fs.Bool("compile-debug", false,
+		"verify statevector equivalence after every compilation pass (small registers only)")
+}
+
+// config validates the flags into a compile.Config, exiting on an
+// invalid pipeline so errors surface before any sweeping starts.
+func (cf *compileFlags) config() compile.Config {
+	cfg := compile.Config{
+		Passes:   compile.ParsePasses(*cf.passes),
+		Coupling: *cf.coupling,
+		Debug:    *cf.debug,
+	}
+	if _, err := compile.New(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(2)
+	}
+	return cfg
+}
+
+// printPassStats renders the per-pass compilation summary, summed over
+// every distinct circuit the sweep compiled.
+func printPassStats(c *backend.TranspileCache) {
+	stats := c.PassStats()
+	if len(stats) == 0 {
+		return
+	}
+	fmt.Println("compilation passes (summed over compiled circuits):")
+	fmt.Printf("  %-18s %8s %8s %8s %8s %8s %8s %8s %10s\n",
+		"pass", "ops", "ops'", "1q", "1q'", "2q", "2q'", "depthΔ", "wall")
+	for _, st := range stats {
+		extra := ""
+		if st.Segments > 0 {
+			extra = fmt.Sprintf("  segments=%d", st.Segments)
+		}
+		if st.Swaps > 0 {
+			extra += fmt.Sprintf("  swaps=%d", st.Swaps)
+		}
+		fmt.Printf("  %-18s %8d %8d %8d %8d %8d %8d %8d %10s%s\n",
+			st.Pass, st.OpsBefore, st.OpsAfter, st.OneQBefore, st.OneQAfter,
+			st.TwoQBefore, st.TwoQAfter, st.DepthAfter-st.DepthBefore,
+			st.Wall.Round(time.Microsecond), extra)
+	}
+}
+
 func runFigure(args []string, geo experiment.Geometry, depths []int, name string) {
 	sf := parseSweepFlags(args, name)
 	defer sf.prof.start()()
@@ -354,6 +422,7 @@ func runFigure(args []string, geo experiment.Geometry, depths []int, name string
 				OrderX: orders[0], OrderY: orders[1],
 				Rates: rates, Depths: depths,
 				Budget: sf.budget, Seed: sf.seed,
+				Pipeline: sf.pipeline,
 			}
 			label := fmt.Sprintf("%s_%s_%d%d", name, axis, orders[0], orders[1])
 			fmt.Printf("== panel %s (%d rates x %d depths) ==\n", label, len(rates), len(depths))
@@ -384,6 +453,7 @@ func runFigure(args []string, geo experiment.Geometry, depths []int, name string
 	}
 	hits, misses := runner.Cache().Stats()
 	fmt.Printf("transpile cache: %d built, %d reused\n", misses, hits)
+	printPassStats(runner.Cache())
 	if tb, ok := runner.Backend().(*backend.TrajectoryBackend); ok {
 		eh, em, ev := tb.EngineCacheStats()
 		fmt.Printf("engine cache: %d built, %d reused, %d evicted\n", em, eh, ev)
@@ -422,6 +492,7 @@ func runClaim2Q(args []string) {
 			OrderX: orders[0], OrderY: orders[1],
 			Rates: rates, Depths: experiment.AddDepths,
 			Budget: sf.budget, Seed: sf.seed,
+			Pipeline: sf.pipeline,
 		}
 		var res experiment.PanelResult
 		var err error
@@ -478,6 +549,7 @@ func runAblateAddCut(args []string) {
 				Instances: sf.budget.Instances, Shots: sf.budget.Shots,
 				Trajectories: sf.budget.Trajectories,
 				RowSeed:      splitMix(sf.seed, 0x22), PointSeed: splitMix(sf.seed, uint64(cut)<<8|uint64(i)),
+				Pipeline: sf.pipeline,
 			}
 			r, err := experiment.RunPointCfgCtx(ctx, runner, pc, acfg)
 			if err != nil {

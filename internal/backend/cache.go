@@ -3,15 +3,17 @@ package backend
 import (
 	"sync"
 
+	"qfarith/internal/compile"
 	"qfarith/internal/transpile"
 )
 
-// CircuitKey identifies one transpiled circuit inside a TranspileCache:
-// the circuit family plus every parameter that shapes its gate list. A
-// figure panel revisits the identical (geometry, depth, arithmetic
-// config) circuit once per error rate — the noise model varies but the
-// circuit does not — so caching on this key removes all repeat
-// transpilation from a sweep.
+// CircuitKey identifies one compiled circuit inside a TranspileCache:
+// the circuit family plus every parameter that shapes its gate list,
+// including the compilation pipeline that produced it. A figure panel
+// revisits the identical (geometry, depth, arithmetic config, pipeline)
+// circuit once per error rate — the noise model varies but the circuit
+// does not — so caching on this key removes all repeat compilation from
+// a sweep.
 type CircuitKey struct {
 	// Family names the circuit construction ("qfa", "qfm", ...).
 	Family string
@@ -21,38 +23,67 @@ type CircuitKey struct {
 	Depth int
 	// AddCut is the addition-step rotation cutoff (arith.Config.AddCut).
 	AddCut int
+	// Pipeline is the deterministic hash of the compile.Config that
+	// compiled the circuit (compile.Config.Hash()); two configs with
+	// equal hashes produce identical output, so they may share an
+	// entry. Legacy Get callers leave it empty.
+	Pipeline string
 }
 
-// TranspileCache memoizes transpiled circuits by CircuitKey. It is safe
+// cacheEntry pairs a compiled circuit with the per-pass statistics of
+// the pipeline run that built it.
+type cacheEntry struct {
+	res   *transpile.Result
+	stats []compile.Stats
+}
+
+// TranspileCache memoizes compiled circuits by CircuitKey. It is safe
 // for concurrent use; the returned *transpile.Result is shared and must
 // be treated as immutable (every consumer in this codebase already
 // does).
 type TranspileCache struct {
 	mu     sync.Mutex
-	m      map[CircuitKey]*transpile.Result
+	m      map[CircuitKey]cacheEntry
 	hits   int
 	misses int
 }
 
 // NewTranspileCache returns an empty cache.
 func NewTranspileCache() *TranspileCache {
-	return &TranspileCache{m: make(map[CircuitKey]*transpile.Result)}
+	return &TranspileCache{m: make(map[CircuitKey]cacheEntry)}
 }
 
 // Get returns the cached circuit for key, calling build to construct it
 // on the first request. Concurrent Gets for the same key build at most
 // once; build must be pure (same key → same circuit).
 func (c *TranspileCache) Get(key CircuitKey, build func() *transpile.Result) *transpile.Result {
+	res, _, err := c.GetCompiled(key, func() (*transpile.Result, []compile.Stats, error) {
+		return build(), nil, nil
+	})
+	if err != nil {
+		// Unreachable: the adapter above never errors.
+		panic("backend: " + err.Error())
+	}
+	return res
+}
+
+// GetCompiled is Get for pipeline builds: it memoizes the compiled
+// circuit together with its per-pass stats and propagates build errors
+// (a failed build is not cached).
+func (c *TranspileCache) GetCompiled(key CircuitKey, build func() (*transpile.Result, []compile.Stats, error)) (*transpile.Result, []compile.Stats, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if res, ok := c.m[key]; ok {
+	if e, ok := c.m[key]; ok {
 		c.hits++
-		return res
+		return e.res, e.stats, nil
+	}
+	res, stats, err := build()
+	if err != nil {
+		return nil, nil, err
 	}
 	c.misses++
-	res := build()
-	c.m[key] = res
-	return res
+	c.m[key] = cacheEntry{res: res, stats: stats}
+	return res, stats, nil
 }
 
 // Stats reports the cache's hit and miss counts.
@@ -67,4 +98,42 @@ func (c *TranspileCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// PassStats aggregates the per-pass statistics across every compiled
+// circuit the cache holds, summed by pass name in first-seen pipeline
+// order — the sweep-level view a CLI summary table prints. Circuits
+// compiled without a pipeline (legacy Get) contribute nothing.
+func (c *TranspileCache) PassStats() []compile.Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var order []string
+	agg := make(map[string]*compile.Stats)
+	for _, e := range c.m {
+		for _, st := range e.stats {
+			a, ok := agg[st.Pass]
+			if !ok {
+				order = append(order, st.Pass)
+				cp := st
+				agg[st.Pass] = &cp
+				continue
+			}
+			a.OpsBefore += st.OpsBefore
+			a.OpsAfter += st.OpsAfter
+			a.OneQBefore += st.OneQBefore
+			a.OneQAfter += st.OneQAfter
+			a.TwoQBefore += st.TwoQBefore
+			a.TwoQAfter += st.TwoQAfter
+			a.DepthBefore += st.DepthBefore
+			a.DepthAfter += st.DepthAfter
+			a.Wall += st.Wall
+			a.Segments += st.Segments
+			a.Swaps += st.Swaps
+		}
+	}
+	out := make([]compile.Stats, 0, len(order))
+	for _, name := range order {
+		out = append(out, *agg[name])
+	}
+	return out
 }

@@ -28,7 +28,6 @@ func NewOp(k gate.Kind, theta float64, qubits ...int) Op {
 	if len(qubits) != k.Arity() {
 		panic(fmt.Sprintf("circuit: %s expects %d qubits, got %d", k, k.Arity(), len(qubits)))
 	}
-	seen := 0
 	var op Op
 	op.Kind = k
 	op.Theta = theta
@@ -36,11 +35,12 @@ func NewOp(k gate.Kind, theta float64, qubits ...int) Op {
 		if q < 0 {
 			panic(fmt.Sprintf("circuit: negative qubit %d", q))
 		}
-		if seen&(1<<uint(q)) != 0 && q < 63 {
-			panic(fmt.Sprintf("circuit: duplicate qubit %d in %s", q, k))
-		}
-		if q < 63 {
-			seen |= 1 << uint(q)
+		// Arity is at most 3, so a pairwise scan is total — unlike a
+		// bitmask, it catches duplicates at any qubit index.
+		for _, prev := range qubits[:i] {
+			if prev == q {
+				panic(fmt.Sprintf("circuit: duplicate qubit %d in %s", q, k))
+			}
 		}
 		op.Qubits[i] = q
 	}

@@ -202,3 +202,26 @@ func TestInverseIsInvolution(t *testing.T) {
 		}
 	}
 }
+
+// TestNewOpDuplicateQubitsBeyond63 is the regression test for the old
+// bitmask duplicate check, which silently skipped any qubit index >= 64
+// and so accepted e.g. cx q[100],q[100] on wide circuits.
+func TestNewOpDuplicateQubitsBeyond63(t *testing.T) {
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanic("cx dup at 100", func() { circuit.NewOp(gate.CX, 0, 100, 100) })
+	assertPanic("ccp dup at 64/64", func() { circuit.NewOp(gate.CCP, 0.5, 63, 64, 64) })
+	assertPanic("ccx dup first/last", func() { circuit.NewOp(gate.CCX, 0, 200, 7, 200) })
+
+	// Distinct high indices stay legal.
+	op := circuit.NewOp(gate.CCX, 0, 63, 64, 200)
+	if got := op.Active(); got[0] != 63 || got[1] != 64 || got[2] != 200 {
+		t.Errorf("high qubit indices mangled: %v", got)
+	}
+}

@@ -1,0 +1,89 @@
+package compile
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qfarith/internal/arith"
+	"qfarith/internal/circuit"
+	"qfarith/internal/qft"
+)
+
+var updateGateBaseline = flag.Bool("update-gate-baseline", false,
+	"rewrite results/gate_counts_baseline.txt from the current default pipeline")
+
+const gateBaselinePath = "../../results/gate_counts_baseline.txt"
+
+// gateCountCases is the fig3/fig4 circuit family: the paper's QFA(7,8)
+// at the Fig. 3 legend depths and QFM(4,4) at the Fig. 4 depths.
+func gateCountCases() []struct {
+	name string
+	c    *circuit.Circuit
+} {
+	var cases []struct {
+		name string
+		c    *circuit.Circuit
+	}
+	for _, d := range []int{1, 2, 3, 4, qft.Full} {
+		label := fmt.Sprintf("d%d", d)
+		if qft.IsFull(d, 8) {
+			label = "dfull"
+		}
+		cases = append(cases, struct {
+			name string
+			c    *circuit.Circuit
+		}{"qfa-7-8-" + label, arith.NewQFA(7, 8, arith.Config{Depth: d, AddCut: arith.FullAdd})})
+	}
+	for _, d := range []int{1, 2, qft.Full} {
+		label := fmt.Sprintf("d%d", d)
+		if qft.IsFull(d, 5) {
+			label = "dfull"
+		}
+		cases = append(cases, struct {
+			name string
+			c    *circuit.Circuit
+		}{"qfm-4-4-" + label, arith.NewQFM(4, 4, arith.Config{Depth: d, AddCut: arith.FullAdd})})
+	}
+	return cases
+}
+
+// TestGateCountsMatchBaseline fails when the default pipeline's native
+// 1q/2q gate counts for the fig3/fig4 circuit family drift from the
+// committed baseline. An intentional change to decomposition or the
+// default pass list should be accompanied by
+//
+//	go test ./internal/compile/ -run GateCounts -update-gate-baseline
+//
+// and a reviewed diff of results/gate_counts_baseline.txt.
+func TestGateCountsMatchBaseline(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("# native gate counts, default pipeline (" + DefaultString() + ")\n")
+	sb.WriteString("# circuit native1q native2q\n")
+	for _, tc := range gateCountCases() {
+		art := mustCompile(t, Config{}, tc.c)
+		n1, n2 := art.Result.CountByArity()
+		fmt.Fprintf(&sb, "%s %d %d\n", tc.name, n1, n2)
+	}
+	got := sb.String()
+
+	if *updateGateBaseline {
+		if err := os.WriteFile(filepath.FromSlash(gateBaselinePath), []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("baseline updated:\n%s", got)
+		return
+	}
+
+	want, err := os.ReadFile(filepath.FromSlash(gateBaselinePath))
+	if err != nil {
+		t.Fatalf("no committed baseline (%v); run with -update-gate-baseline to create it", err)
+	}
+	if string(want) != got {
+		t.Errorf("native gate counts drifted from %s\n--- committed\n%s--- current\n%s",
+			gateBaselinePath, want, got)
+	}
+}

@@ -1,0 +1,263 @@
+package compile
+
+import (
+	"fmt"
+	"math"
+
+	"qfarith/internal/circuit"
+	"qfarith/internal/gate"
+)
+
+// newPass instantiates a transform pass by name. The structural passes
+// (decompose, route, fuse) are coordinated by the Pipeline itself
+// because their products — span bookkeeping, layout, the fused plan —
+// do not fit the circuit→circuit shape.
+func newPass(name string) (Pass, error) {
+	switch name {
+	case PassSinkDiagonals:
+		return sinkDiagonalsPass{}, nil
+	case PassCancelInverses:
+		return cancelInversesPass{}, nil
+	case PassFoldAngles:
+		return foldAnglesPass{}, nil
+	case PassPruneZeroAngle:
+		return pruneZeroAnglePass{}, nil
+	default:
+		return nil, fmt.Errorf("compile: no transform pass %q", name)
+	}
+}
+
+// disjoint reports whether two ops share no qubit.
+func disjoint(a, b circuit.Op) bool {
+	for _, qa := range a.Active() {
+		for _, qb := range b.Active() {
+			if qa == qb {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// controlPrefix reports how many leading qubits of an op of kind k are
+// pure controls (the gate acts as identity on them in the computational
+// basis, only conditioning on their value).
+func controlPrefix(k gate.Kind) int {
+	switch k {
+	case gate.CX, gate.CH, gate.CRY:
+		return 1
+	case gate.CCX, gate.CCH:
+		return 2
+	}
+	return 0
+}
+
+// commutesWithDiagonal reports whether the diagonal op d commutes with
+// the (non-diagonal) op g. It does whenever every qubit they share is a
+// control of g: writing g = Σ_c P_c ⊗ U_c over its control subspace,
+// d is diagonal on the shared controls (so commutes with each projector
+// P_c) and acts on wires disjoint from g's targets, so it commutes with
+// every term. Disjoint ops are the zero-shared-qubit special case.
+func commutesWithDiagonal(g, d circuit.Op) bool {
+	nc := controlPrefix(g.Kind)
+	for _, qd := range d.Active() {
+		for i, qg := range g.Active() {
+			if qd == qg && i >= nc {
+				return false // shares a target wire of g
+			}
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------- sink-diagonals
+
+// sinkDiagonalsPass commutes diagonal gates toward earlier diagonal
+// gates: a diagonal op hops left over any non-diagonal op it shares no
+// qubit with, until it lands adjacent to another diagonal op (joining
+// its run) or reaches the front. Diagonal gates commute with each other
+// and with disjoint-qubit gates, so the unitary is unchanged; the win
+// is longer maximal diagonal runs in the source stream, which the
+// trajectory engine's fusion turns into fewer, larger one-pass
+// ApplyDiagTerms segments. Run it before decompose so the enlarged runs
+// land in the Result's source ops (where fusion operates) and the
+// native span bookkeeping stays exact.
+type sinkDiagonalsPass struct{}
+
+func (sinkDiagonalsPass) Name() string { return PassSinkDiagonals }
+
+func (sinkDiagonalsPass) Run(c *circuit.Circuit) (*circuit.Circuit, Stats, error) {
+	out := circuit.New(c.NumQubits)
+	out.Ops = make([]circuit.Op, 0, len(c.Ops))
+	for _, op := range c.Ops {
+		if !op.Kind.Diagonal() {
+			out.Ops = append(out.Ops, op)
+			continue
+		}
+		// Walk left past commuting non-diagonal ops; stop at a diagonal
+		// op (join its run) or a blocker touching one of our wires with a
+		// non-control qubit.
+		j := len(out.Ops)
+		for j > 0 {
+			prev := out.Ops[j-1]
+			if prev.Kind.Diagonal() {
+				break
+			}
+			if !commutesWithDiagonal(prev, op) {
+				break
+			}
+			j--
+		}
+		out.Ops = append(out.Ops, circuit.Op{})
+		copy(out.Ops[j+1:], out.Ops[j:])
+		out.Ops[j] = op
+	}
+	return out, measure(PassSinkDiagonals, c, out), nil
+}
+
+// ---------------------------------------------------------- peephole trio
+//
+// The three passes below are the old transpile.Optimize peephole split
+// into independently verifiable rules. Each iterates its own rule to a
+// fixed point; chaining cancel-inverses → fold-angles →
+// prune-zero-angle (optionally repeated) recovers the combined
+// optimizer. They track per-wire adjacency, so a pattern separated by a
+// gate on any shared wire is never touched.
+
+// cancelInversesPass removes adjacent self-inverse pairs — identical CX
+// gates and X-X on the same qubit — and explicit id gates.
+type cancelInversesPass struct{}
+
+func (cancelInversesPass) Name() string { return PassCancelInverses }
+
+func (cancelInversesPass) Run(c *circuit.Circuit) (*circuit.Circuit, Stats, error) {
+	ops := c.Ops
+	for {
+		next, changed := cancelInversesOnce(ops)
+		ops = next
+		if !changed {
+			break
+		}
+	}
+	out := circuit.New(c.NumQubits)
+	out.Ops = append(out.Ops, ops...)
+	return out, measure(PassCancelInverses, c, out), nil
+}
+
+func cancelInversesOnce(ops []circuit.Op) ([]circuit.Op, bool) {
+	out := make([]circuit.Op, 0, len(ops))
+	changed := false
+	lastOn := map[int]int{}
+	touch := func(op circuit.Op, idx int) {
+		for _, q := range op.Active() {
+			lastOn[q] = idx
+		}
+	}
+	drop := func(idx int) {
+		out = append(out[:idx], out[idx+1:]...)
+		rebuildLastOn(lastOn, out)
+		changed = true
+	}
+	for _, op := range ops {
+		switch op.Kind {
+		case gate.I:
+			changed = true
+			continue
+		case gate.X:
+			q := op.Qubits[0]
+			if li, ok := lastOn[q]; ok && li < len(out) && out[li].Kind == gate.X && out[li].Qubits[0] == q {
+				drop(li)
+				continue
+			}
+		case gate.CX:
+			c0, t0 := op.Qubits[0], op.Qubits[1]
+			lc, okc := lastOn[c0]
+			lt, okt := lastOn[t0]
+			if okc && okt && lc == lt && lc < len(out) {
+				prev := out[lc]
+				if prev.Kind == gate.CX && prev.Qubits[0] == c0 && prev.Qubits[1] == t0 {
+					drop(lc)
+					continue
+				}
+			}
+		}
+		out = append(out, op)
+		touch(op, len(out)-1)
+	}
+	return out, changed
+}
+
+// foldAnglesPass merges adjacent RZ gates on the same qubit into one,
+// summing angles and normalizing into (-π, π]. Merged-to-zero rotations
+// are kept (as RZ(0)) so the pass is total and order-independent; chain
+// prune-zero-angle to drop them.
+type foldAnglesPass struct{}
+
+func (foldAnglesPass) Name() string { return PassFoldAngles }
+
+func (foldAnglesPass) Run(c *circuit.Circuit) (*circuit.Circuit, Stats, error) {
+	out := circuit.New(c.NumQubits)
+	out.Ops = make([]circuit.Op, 0, len(c.Ops))
+	lastOn := map[int]int{}
+	for _, op := range c.Ops {
+		if op.Kind == gate.RZ {
+			q := op.Qubits[0]
+			if li, ok := lastOn[q]; ok && out.Ops[li].Kind == gate.RZ && out.Ops[li].Qubits[0] == q {
+				out.Ops[li].Theta = normAngle(out.Ops[li].Theta + op.Theta)
+				continue
+			}
+		}
+		out.Ops = append(out.Ops, op)
+		for _, q := range op.Active() {
+			lastOn[q] = len(out.Ops) - 1
+		}
+	}
+	return out, measure(PassFoldAngles, c, out), nil
+}
+
+// pruneZeroAnglePass drops rotations that are the identity: RZ (and
+// logical P/CP/CCP) whose normalized angle is within zeroAngleTol of 0.
+type pruneZeroAnglePass struct{}
+
+func (pruneZeroAnglePass) Name() string { return PassPruneZeroAngle }
+
+func (pruneZeroAnglePass) Run(c *circuit.Circuit) (*circuit.Circuit, Stats, error) {
+	out := circuit.New(c.NumQubits)
+	out.Ops = make([]circuit.Op, 0, len(c.Ops))
+	for _, op := range c.Ops {
+		switch op.Kind {
+		case gate.RZ, gate.P, gate.CP, gate.CCP:
+			if isZeroAngle(op.Theta) {
+				continue
+			}
+		}
+		out.Ops = append(out.Ops, op)
+	}
+	return out, measure(PassPruneZeroAngle, c, out), nil
+}
+
+func rebuildLastOn(lastOn map[int]int, out []circuit.Op) {
+	for k := range lastOn {
+		delete(lastOn, k)
+	}
+	for i, op := range out {
+		for _, q := range op.Active() {
+			lastOn[q] = i
+		}
+	}
+}
+
+// normAngle reduces an angle into (-π, π].
+func normAngle(t float64) float64 {
+	t = math.Mod(t, 2*math.Pi)
+	if t > math.Pi {
+		t -= 2 * math.Pi
+	} else if t <= -math.Pi {
+		t += 2 * math.Pi
+	}
+	return t
+}
+
+const zeroAngleTol = 1e-12
+
+func isZeroAngle(t float64) bool { return math.Abs(normAngle(t)) < zeroAngleTol }

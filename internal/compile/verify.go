@@ -1,0 +1,159 @@
+package compile
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+
+	"qfarith/internal/circuit"
+	"qfarith/internal/layout"
+	"qfarith/internal/sim"
+)
+
+// DebugMaxQubits bounds the register width debug-mode verification
+// simulates; wider circuits are passed through unchecked (a statevector
+// check on them would dominate compile time).
+const DebugMaxQubits = 16
+
+// DebugTol is the per-amplitude equivalence tolerance of debug mode
+// (after removing a global phase).
+const DebugTol = 1e-12
+
+// debugStates is how many pseudo-random input states each check drives
+// through both circuits.
+const debugStates = 2
+
+// verifyPass checks that after implements the same unitary as before
+// (up to global phase) by driving deterministic pseudo-random states
+// through both circuits via internal/sim. For the route pass, routed
+// supplies the layout bookkeeping: the input embeds through
+// InitialLayout and outputs are compared at each logical qubit's
+// FinalLayout home (unoccupied physical wires must stay |0⟩).
+func verifyPass(name string, before, after *circuit.Circuit, routed *layout.Routed) error {
+	width := before.NumQubits
+	if after.NumQubits > width {
+		width = after.NumQubits
+	}
+	if width > DebugMaxQubits {
+		return nil
+	}
+	rng := rand.New(rand.NewPCG(0x636f6d70696c6564, uint64(width)))
+	for trial := 0; trial < debugStates; trial++ {
+		in := randomAmps(rng, 1<<uint(before.NumQubits))
+
+		want := sim.NewState(before.NumQubits)
+		want.SetAmplitudes(in)
+		want.ApplyCircuit(before)
+
+		var got []complex128
+		if routed != nil {
+			phys, err := applyRouted(in, after, routed, before.NumQubits)
+			if err != nil {
+				return fmt.Errorf("compile: debug: pass %s %w", name, err)
+			}
+			got = phys
+		} else {
+			if after.NumQubits != before.NumQubits {
+				return fmt.Errorf("compile: debug: pass %s changed register width %d → %d without layout bookkeeping",
+					name, before.NumQubits, after.NumQubits)
+			}
+			st := sim.NewState(after.NumQubits)
+			st.SetAmplitudes(in)
+			st.ApplyCircuit(after)
+			got = st.Amps()
+		}
+		if idx, diff, ok := equalUpToGlobalPhase(got, want.Amps(), DebugTol); !ok {
+			return fmt.Errorf("compile: debug: pass %s broke unitary equivalence (trial %d, amplitude %d differs by %.3g > %g)",
+				name, trial, idx, diff, DebugTol)
+		}
+	}
+	return nil
+}
+
+// applyRouted runs the routed circuit on the physical register with the
+// logical input embedded per InitialLayout, then gathers the logical
+// amplitudes from each qubit's FinalLayout home. A nonzero amplitude on
+// a basis state whose unoccupied physical wires are not |0⟩ is an
+// error.
+func applyRouted(in []complex128, after *circuit.Circuit, routed *layout.Routed, logicalQubits int) ([]complex128, error) {
+	phys := sim.NewState(after.NumQubits)
+	amps := make([]complex128, phys.Dim())
+	for l, amp := range in {
+		p := 0
+		for q := 0; q < logicalQubits; q++ {
+			if l>>uint(q)&1 == 1 {
+				p |= 1 << uint(routed.InitialLayout[q])
+			}
+		}
+		amps[p] = amp
+	}
+	phys.SetAmplitudes(amps)
+	phys.ApplyCircuit(after)
+
+	occupied := 0
+	for _, p := range routed.FinalLayout {
+		occupied |= 1 << uint(p)
+	}
+	out := make([]complex128, len(in))
+	for pIdx, amp := range phys.Amps() {
+		if pIdx&^occupied != 0 {
+			if cmplx.Abs(amp) > DebugTol {
+				return nil, fmt.Errorf("left %.3g amplitude on an unoccupied physical wire (basis %d)", cmplx.Abs(amp), pIdx)
+			}
+			continue
+		}
+		l := 0
+		for q := 0; q < logicalQubits; q++ {
+			if pIdx>>uint(routed.FinalLayout[q])&1 == 1 {
+				l |= 1 << uint(q)
+			}
+		}
+		out[l] = amp
+	}
+	return out, nil
+}
+
+// randomAmps draws a normalized complex vector.
+func randomAmps(rng *rand.Rand, dim int) []complex128 {
+	amps := make([]complex128, dim)
+	norm := 0.0
+	for i := range amps {
+		re, im := rng.NormFloat64(), rng.NormFloat64()
+		amps[i] = complex(re, im)
+		norm += re*re + im*im
+	}
+	scale := complex(1/math.Sqrt(norm), 0)
+	for i := range amps {
+		amps[i] *= scale
+	}
+	return amps
+}
+
+// equalUpToGlobalPhase compares two amplitude vectors after removing
+// the global phase that aligns them at got's largest-magnitude entry.
+// Returns the first offending index and its deviation on mismatch.
+func equalUpToGlobalPhase(got, want []complex128, tol float64) (int, float64, bool) {
+	if len(got) != len(want) {
+		return -1, math.Inf(1), false
+	}
+	ref, best := -1, 0.0
+	for i, w := range want {
+		if a := cmplx.Abs(w); a > best {
+			best, ref = a, i
+		}
+	}
+	phase := complex(1, 0)
+	if ref >= 0 && best > tol {
+		r := got[ref] / want[ref]
+		if a := cmplx.Abs(r); a > 0 {
+			phase = r / complex(a, 0)
+		}
+	}
+	for i := range got {
+		if diff := cmplx.Abs(got[i] - phase*want[i]); diff > tol {
+			return i, diff, false
+		}
+	}
+	return -1, 0, true
+}

@@ -14,6 +14,8 @@ import (
 
 	"qfarith/internal/arith"
 	"qfarith/internal/backend"
+	"qfarith/internal/circuit"
+	"qfarith/internal/compile"
 	"qfarith/internal/metrics"
 	"qfarith/internal/noise"
 	"qfarith/internal/sim"
@@ -95,6 +97,12 @@ func (g Geometry) BuildCircuit(d int) *transpile.Result {
 // BuildCircuitCfg constructs the circuit with full arithmetic config
 // (exposes the add-step cutoff for the ablation experiment).
 func (g Geometry) BuildCircuitCfg(cfg arith.Config) *transpile.Result {
+	return transpile.Transpile(g.LogicalCircuit(cfg))
+}
+
+// LogicalCircuit constructs the operation's logical (pre-compilation)
+// gate list — the input the compile pipeline consumes.
+func (g Geometry) LogicalCircuit(cfg arith.Config) *circuit.Circuit {
 	c := newCircuit(g.TotalQubits)
 	switch g.Op {
 	case OpAdd:
@@ -102,7 +110,18 @@ func (g Geometry) BuildCircuitCfg(cfg arith.Config) *transpile.Result {
 	case OpMul:
 		arith.QFMGates(c, g.XReg, g.YReg, g.ZReg, cfg)
 	}
-	return transpile.Transpile(c)
+	return c
+}
+
+// BuildArtifact compiles the operation's circuit through the given
+// pipeline configuration, returning the executable result plus per-pass
+// statistics.
+func (g Geometry) BuildArtifact(acfg arith.Config, pcfg compile.Config) (*compile.Artifact, error) {
+	p, err := compile.New(pcfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Compile(g.LogicalCircuit(acfg))
 }
 
 // PointConfig describes a single plotted point of Figs. 3/4.
@@ -124,6 +143,9 @@ type PointConfig struct {
 	PointSeed uint64
 	// Workers bounds instance-level parallelism; 0 = GOMAXPROCS.
 	Workers int
+	// Pipeline selects the compilation pass pipeline; the zero value is
+	// the default (decompose,fuse) pipeline the paper's figures use.
+	Pipeline compile.Config
 }
 
 // PointResult is the aggregated outcome of one plotted point.
@@ -211,12 +233,15 @@ func (cfg PointConfig) correctSet(xs, ys []int) map[int]bool {
 // bit-identical default-backend output across the refactor.
 const mixtureSeed2 = 0xda3e39cb94b95bdb
 
-// cacheKey identifies the point's circuit inside a transpile cache.
-func (g Geometry) cacheKey(acfg arith.Config) backend.CircuitKey {
+// cacheKey identifies the point's circuit inside a transpile cache: the
+// arithmetic parameters plus the pipeline hash, so differently-compiled
+// copies of the same circuit never alias.
+func (g Geometry) cacheKey(acfg arith.Config, pcfg compile.Config) backend.CircuitKey {
 	return backend.CircuitKey{
 		Family: g.Op.String(),
 		XBits:  g.XBits, YBits: g.YBits,
 		Depth: acfg.Depth, AddCut: acfg.AddCut,
+		Pipeline: pcfg.Hash(),
 	}
 }
 
@@ -258,11 +283,21 @@ func RunPointCtx(ctx context.Context, r *backend.Runner, cfg PointConfig) (Point
 	return RunPointCfgCtx(ctx, r, cfg, arith.Config{Depth: cfg.Depth, AddCut: arith.FullAdd})
 }
 
-// RunPointCfgCtx is RunPointCtx with an explicit arithmetic config.
+// RunPointCfgCtx is RunPointCtx with an explicit arithmetic config. The
+// point's circuit is compiled through cfg.Pipeline (memoized in the
+// runner's cache under the pipeline hash); an invalid pipeline or a
+// debug-mode verification failure surfaces as an error.
 func RunPointCfgCtx(ctx context.Context, r *backend.Runner, cfg PointConfig, acfg arith.Config) (PointResult, error) {
-	res := r.Cache().Get(cfg.Geometry.cacheKey(acfg), func() *transpile.Result {
-		return cfg.Geometry.BuildCircuitCfg(acfg)
+	res, _, err := r.Cache().GetCompiled(cfg.Geometry.cacheKey(acfg, cfg.Pipeline), func() (*transpile.Result, []compile.Stats, error) {
+		art, err := cfg.Geometry.BuildArtifact(acfg, cfg.Pipeline)
+		if err != nil {
+			return nil, nil, err
+		}
+		return art.Result, art.Stats, nil
 	})
+	if err != nil {
+		return PointResult{}, err
+	}
 	return runPointOn(ctx, r, cfg, res)
 }
 

@@ -2,8 +2,11 @@ package experiment
 
 import (
 	"context"
+	"fmt"
 
+	"qfarith/internal/arith"
 	"qfarith/internal/backend"
+	"qfarith/internal/compile"
 	"qfarith/internal/layout"
 	"qfarith/internal/metrics"
 	"qfarith/internal/sim"
@@ -34,8 +37,19 @@ func RunRoutedPointCtx(ctx context.Context, r *backend.Runner, cfg PointConfig, 
 	if cfg.Geometry.Op != OpAdd {
 		panic("experiment: routed points support addition only")
 	}
-	res := cfg.Geometry.BuildCircuit(cfg.Depth)
-	routed := layout.Route(res.Circuit(), cm, nil)
+	// The pre-route circuit compiles through cfg.Pipeline; this path owns
+	// routing and physical-index compaction, so a pipeline route pass
+	// would route twice.
+	for _, name := range cfg.Pipeline.PassList() {
+		if name == compile.PassRoute {
+			return PointResult{}, fmt.Errorf("experiment: routed points route internally; drop %q from the pass list", compile.PassRoute)
+		}
+	}
+	art, err := cfg.Geometry.BuildArtifact(arith.Config{Depth: cfg.Depth, AddCut: arith.FullAdd}, cfg.Pipeline)
+	if err != nil {
+		return PointResult{}, err
+	}
+	routed := layout.Route(art.Result.Circuit(), cm, nil)
 
 	// Compact the physical index space to the qubits the routed circuit
 	// actually touches (a big device would otherwise force a full-device
@@ -78,7 +92,7 @@ func RunRoutedPointCtx(ctx context.Context, r *backend.Runner, cfg PointConfig, 
 
 	results := make([]metrics.InstanceResult, cfg.Instances)
 	var diag backend.Diagnostics
-	err := r.Do(ctx, cfg.Instances, func(idx int) error {
+	err = r.Do(ctx, cfg.Instances, func(idx int) error {
 		xs, ys := cfg.instanceOperands(idx)
 		logical := make([]complex128, 1<<uint(cfg.Geometry.TotalQubits))
 		initial := make([]complex128, 1<<uint(nUsed))

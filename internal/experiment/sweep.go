@@ -9,6 +9,7 @@ import (
 
 	"qfarith/internal/backend"
 	"qfarith/internal/circuit"
+	"qfarith/internal/compile"
 	"qfarith/internal/noise"
 	"qfarith/internal/plot"
 	"qfarith/internal/qft"
@@ -90,6 +91,9 @@ type PanelConfig struct {
 	Depths   []int
 	Budget   Budget
 	Seed     uint64
+	// Pipeline selects the compilation pass pipeline for every point of
+	// the panel; the zero value is the default pipeline.
+	Pipeline compile.Config
 }
 
 // PanelResult holds a panel's sweep grid: Points[rateIdx][depthIdx].
@@ -122,6 +126,7 @@ func (cfg PanelConfig) PointAt(rate float64, depth int) PointConfig {
 		RowSeed:      splitSeed(cfg.Seed, uint64(cfg.OrderX)<<8|uint64(cfg.OrderY)),
 		PointSeed:    splitSeed(cfg.Seed, hashPoint(cfg.Axis, rate, depth, cfg.OrderX, cfg.OrderY)),
 		Workers:      cfg.Budget.Workers,
+		Pipeline:     cfg.Pipeline,
 	}
 }
 

@@ -9,10 +9,12 @@ import (
 	"qfarith/internal/arith"
 	"qfarith/internal/circuit"
 	"qfarith/internal/gate"
+	"qfarith/internal/layout"
 	"qfarith/internal/mat"
 	"qfarith/internal/qasm"
 	"qfarith/internal/qft"
 	"qfarith/internal/testutil"
+	"qfarith/internal/transpile"
 )
 
 func TestExportBasicStructure(t *testing.T) {
@@ -214,5 +216,52 @@ func TestExportWithMeasurement(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in:\n%s", want, out)
 		}
+	}
+}
+
+// TestRoundTripRoutedCircuit exports a routed (coupling-constrained)
+// circuit and parses it back: routing SWAPs are emitted as 3 CX, so the
+// op stream must survive exactly and the unitary must match.
+func TestRoundTripRoutedCircuit(t *testing.T) {
+	c := arith.NewQFA(2, 3, arith.Config{Depth: 2, AddCut: arith.FullAdd})
+	native := transpile.Transpile(c).Circuit()
+	routed := layout.Route(native, layout.Linear(c.NumQubits), nil)
+	if routed.SwapCount == 0 {
+		t.Fatal("expected the linear chain to force SWAP insertion")
+	}
+	parsed, err := qasm.ParseString(qasm.Export(routed.Circuit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.NumQubits != routed.Circuit.NumQubits || len(parsed.Ops) != len(routed.Circuit.Ops) {
+		t.Fatalf("shape changed: %d/%d qubits, %d/%d ops",
+			parsed.NumQubits, routed.Circuit.NumQubits, len(parsed.Ops), len(routed.Circuit.Ops))
+	}
+	for i := range routed.Circuit.Ops {
+		a, b := routed.Circuit.Ops[i], parsed.Ops[i]
+		if a.Kind != b.Kind || a.Qubits != b.Qubits || math.Abs(a.Theta-b.Theta) > 1e-12 {
+			t.Fatalf("op %d: %v != %v", i, a, b)
+		}
+	}
+	want := testutil.CircuitUnitary(routed.Circuit, routed.Circuit.NumQubits)
+	got := testutil.CircuitUnitary(parsed, parsed.NumQubits)
+	if d := mat.MaxAbsDiff(got, want); d > 1e-9 {
+		t.Errorf("round trip changed routed unitary by %g", d)
+	}
+}
+
+// TestRoundTripExplicitSwap: the swap gate kind itself (as opposed to
+// the 3-CX expansion the router emits) must also survive a round trip.
+func TestRoundTripExplicitSwap(t *testing.T) {
+	c := circuit.New(3)
+	c.Append(gate.H, 0, 0)
+	c.Append(gate.SWAP, 0, 0, 2)
+	c.Append(gate.CP, math.Pi/4, 1, 2)
+	parsed, err := qasm.ParseString(qasm.Export(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Ops) != 3 || parsed.Ops[1].Kind != gate.SWAP || parsed.Ops[1].Qubits != c.Ops[1].Qubits {
+		t.Fatalf("swap did not round-trip: %v", parsed.Ops)
 	}
 }

@@ -50,6 +50,10 @@ type Manifest struct {
 	Seed uint64 `json:"seed"`
 	// Backend names the execution backend.
 	Backend string `json:"backend"`
+	// Pipeline is the compile.Config hash of the run's compilation
+	// pipeline, duplicated out of ConfigHash for human inspection (the
+	// hash itself is what makes Resume refuse a pass-config change).
+	Pipeline string `json:"pipeline,omitempty"`
 	// GitDescribe pins the code version that started the run.
 	GitDescribe string `json:"git_describe,omitempty"`
 	// StartTime is when the run directory was created.

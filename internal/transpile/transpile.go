@@ -1,9 +1,9 @@
 // Package transpile lowers circuits to the IBM superconducting native
 // basis {id, x, rz, sx, cx} the paper targets (Qiskit's basis for the
 // noise simulations), tracks which native gates implement which source
-// gate (so noise can be injected at physical-gate positions), applies a
-// peephole optimizer, and provides the gate-cost model that reproduces
-// the paper's Table I.
+// gate (so noise can be injected at physical-gate positions), and
+// provides the gate-cost model that reproduces the paper's Table I.
+// Cross-gate optimization lives in internal/compile's pass pipeline.
 package transpile
 
 import (
@@ -202,106 +202,8 @@ func appendNative(dst []circuit.Op, op circuit.Op) []circuit.Op {
 	}
 }
 
-// Optimize applies a peephole pass to a native circuit: adjacent RZ on
-// the same qubit merge (angles summed mod 2π, identities dropped) and
-// adjacent identical CX pairs cancel, iterating to a fixed point. It
-// returns a new circuit; the op-to-span bookkeeping of a Result does not
-// survive optimization, so optimized circuits are used for counting and
-// noiseless execution only.
-func Optimize(c *circuit.Circuit) *circuit.Circuit {
-	ops := append([]circuit.Op(nil), c.Ops...)
-	for {
-		var changed bool
-		ops, changed = optimizePass(ops)
-		if !changed {
-			break
-		}
-	}
-	out := circuit.New(c.NumQubits)
-	out.Ops = ops
-	return out
-}
-
-func optimizePass(ops []circuit.Op) ([]circuit.Op, bool) {
-	out := ops[:0:0]
-	changed := false
-	// lastOn[q] = index in out of the latest op touching qubit q, or -1.
-	lastOn := map[int]int{}
-	touch := func(op circuit.Op, idx int) {
-		for _, q := range op.Active() {
-			lastOn[q] = idx
-		}
-	}
-	for _, op := range ops {
-		switch op.Kind {
-		case gate.RZ:
-			q := op.Qubits[0]
-			if li, ok := lastOn[q]; ok && li >= 0 && li < len(out) && out[li].Kind == gate.RZ && out[li].Qubits[0] == q {
-				out[li].Theta = normAngle(out[li].Theta + op.Theta)
-				changed = true
-				if isZeroAngle(out[li].Theta) {
-					out = append(out[:li], out[li+1:]...)
-					rebuild(lastOn, out)
-				}
-				continue
-			}
-			if isZeroAngle(op.Theta) {
-				changed = true
-				continue
-			}
-		case gate.CX:
-			c0, t0 := op.Qubits[0], op.Qubits[1]
-			lc, okc := lastOn[c0]
-			lt, okt := lastOn[t0]
-			if okc && okt && lc == lt && lc >= 0 && lc < len(out) {
-				prev := out[lc]
-				if prev.Kind == gate.CX && prev.Qubits[0] == c0 && prev.Qubits[1] == t0 {
-					out = append(out[:lc], out[lc+1:]...)
-					rebuild(lastOn, out)
-					changed = true
-					continue
-				}
-			}
-		case gate.X:
-			q := op.Qubits[0]
-			if li, ok := lastOn[q]; ok && li >= 0 && li < len(out) && out[li].Kind == gate.X && out[li].Qubits[0] == q {
-				out = append(out[:li], out[li+1:]...)
-				rebuild(lastOn, out)
-				changed = true
-				continue
-			}
-		case gate.I:
-			changed = true
-			continue
-		}
-		out = append(out, op)
-		touch(op, len(out)-1)
-	}
-	return out, changed
-}
-
-func rebuild(lastOn map[int]int, out []circuit.Op) {
-	for k := range lastOn {
-		delete(lastOn, k)
-	}
-	for i, op := range out {
-		for _, q := range op.Active() {
-			lastOn[q] = i
-		}
-	}
-}
-
-func normAngle(t float64) float64 {
-	t = math.Mod(t, 2*math.Pi)
-	if t > math.Pi {
-		t -= 2 * math.Pi
-	} else if t <= -math.Pi {
-		t += 2 * math.Pi
-	}
-	return t
-}
-
-func isZeroAngle(t float64) bool {
-	const eps = 1e-12
-	return math.Abs(normAngle(t)) < eps
-}
+// The peephole optimizer that used to live here (Optimize) is now the
+// cancel-inverses / fold-angles / prune-zero-angle passes of
+// internal/compile, where each rule is independently configurable,
+// verifiable, and observable. This package keeps the pure lowering:
+// Transpile never optimizes across gates, so Spans stay exact.
