@@ -74,8 +74,11 @@ func runThermal(args []string) {
 	traj := fs.Int("traj", 120, "trajectories")
 	var prof profiler
 	prof.register(fs)
+	var telem telemetryFlags
+	telem.register(fs)
 	fs.Parse(args)
 	defer prof.start()()
+	defer telem.start("")()
 
 	geo := experiment.PaperAddGeometry()
 	res := geo.BuildCircuit(3)
@@ -124,6 +127,8 @@ func runAblateRouting(args []string) {
 	cf.register(fs)
 	var prof profiler
 	prof.register(fs)
+	var telem telemetryFlags
+	telem.register(fs)
 	fs.Parse(args)
 	defer prof.start()()
 	ctx, stop := sweepContext()
@@ -143,6 +148,11 @@ func runAblateRouting(args []string) {
 	// topology loop checkpoints per topology when -rundir is given.
 	sfr := sweepFlags{rundir: *rundir, resume: *resume, backend: *backendName}
 	run := sfr.openRun("ablate-routing", cfg)
+	snapDir := ""
+	if run != nil {
+		snapDir = run.Dir()
+	}
+	defer telem.start(snapDir)()
 	var ck experiment.CheckpointStore
 	if run != nil {
 		ck = run
@@ -192,8 +202,11 @@ func runScaling(args []string) {
 	cf.register(fs)
 	var prof profiler
 	prof.register(fs)
+	var telem telemetryFlags
+	telem.register(fs)
 	fs.Parse(args)
 	defer prof.start()()
+	defer telem.start("")()
 	pcfg := cf.config()
 	ctx, stop := sweepContext()
 	defer stop()
@@ -263,8 +276,11 @@ func runShor(args []string) {
 	traj := fs.Int("traj", 24, "trajectories per point")
 	var prof profiler
 	prof.register(fs)
+	var telem telemetryFlags
+	telem.register(fs)
 	fs.Parse(args)
 	defer prof.start()()
+	defer telem.start("")()
 
 	c, lay := arith.NewOrderFinding(*base, *modulus, *tbits, arith.DefaultConfig())
 	res := transpile.Transpile(c)

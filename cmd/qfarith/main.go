@@ -134,6 +134,7 @@ type sweepFlags struct {
 	resume    bool
 	pipeline  compile.Config
 	prof      profiler
+	telem     telemetryFlags
 }
 
 // runner builds the shared execution runner the sweep submits to: the
@@ -269,6 +270,8 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 	cf.register(fs)
 	var prof profiler
 	prof.register(fs)
+	var telem telemetryFlags
+	telem.register(fs)
 	fs.Parse(args)
 	if *resume && *rundir == "" {
 		fmt.Fprintln(os.Stderr, "-resume requires -rundir")
@@ -302,7 +305,7 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 	sf := sweepFlags{budget: b, outDir: *out, seed: *seed,
 		rates1q: experiment.PaperRates1Q, rates2q: experiment.PaperRates2Q,
 		backend: *backendName, workers: *workers,
-		rundir: *rundir, resume: *resume, pipeline: pcfg, prof: prof}
+		rundir: *rundir, resume: *resume, pipeline: pcfg, prof: prof, telem: telem}
 	if *rates != "" {
 		var grid []float64
 		for _, tok := range strings.Split(*rates, ",") {
@@ -406,11 +409,28 @@ func runFigure(args []string, geo experiment.Geometry, depths []int, name string
 		fmt.Fprintln(os.Stderr, err)
 		exit(1)
 	}
+	snapDir := ""
+	if run != nil {
+		snapDir = run.Dir()
+	}
+	defer sf.telem.start(snapDir)()
 	ctx, stop := sweepContext()
 	defer stop()
 	runner := sf.runner()
 	fmt.Printf("backend=%s workers=%d\n", runner.Backend().Name(), runner.Workers())
 	start := time.Now()
+	totalPts := 0
+	for range sf.orderSets {
+		for _, axis := range sf.axes {
+			rates := sf.rates1q
+			if axis == experiment.Axis2Q {
+				rates = sf.rates2q
+			}
+			totalPts += len(rates) * len(depths)
+		}
+	}
+	tracker := newSweepTracker(totalPts)
+	defer tracker.stop()
 	for _, orders := range sf.orderSets {
 		for _, axis := range sf.axes {
 			rates := sf.rates1q
@@ -426,11 +446,17 @@ func runFigure(args []string, geo experiment.Geometry, depths []int, name string
 			}
 			label := fmt.Sprintf("%s_%s_%d%d", name, axis, orders[0], orders[1])
 			fmt.Printf("== panel %s (%d rates x %d depths) ==\n", label, len(rates), len(depths))
-			progress := func(done, total int, r experiment.PointResult) {
+			progress := func(p experiment.Progress) {
+				tracker.observe(p)
+				if p.FromCheckpoint {
+					// openRun already announced the restored total; a line
+					// per restored cell would just scroll the terminal.
+					return
+				}
 				fmt.Printf("  [%s %3d/%d] rate=%.2f%% d=%-4s -> %.1f%% success (elapsed %s)\n",
-					label, done, total, pointRate(r)*100,
-					experiment.DepthLabel(r.Config.Depth, 8),
-					r.Stats.SuccessRate, time.Since(start).Round(time.Second))
+					label, p.Done, p.Total, pointRate(p.Point)*100,
+					experiment.DepthLabel(p.Point.Config.Depth, 8),
+					p.Point.Stats.SuccessRate, time.Since(start).Round(time.Second))
 			}
 			var res experiment.PanelResult
 			var err error
@@ -482,6 +508,11 @@ func runClaim2Q(args []string) {
 	sf.rates1q, sf.rates2q = rates, rates
 	sf.orderSets = [][2]int{{1, 2}, {2, 2}}
 	run := sf.openRun("claim-2q", sf.spec("claim-2q", geo, experiment.AddDepths))
+	snapDir := ""
+	if run != nil {
+		snapDir = run.Dir()
+	}
+	defer sf.telem.start(snapDir)()
 	ctx, stop := sweepContext()
 	defer stop()
 	runner := sf.runner()
@@ -528,6 +559,7 @@ func runClaim2Q(args []string) {
 func runAblateAddCut(args []string) {
 	sf := parseSweepFlags(args, "ablate-addcut")
 	defer sf.prof.start()()
+	defer sf.telem.start("")()
 	ctx, stop := sweepContext()
 	defer stop()
 	runner := sf.runner()

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"qfarith/internal/experiment"
+	"qfarith/internal/telemetry"
+)
+
+// telemetryFlags adds -telemetry-addr to a command's flag set and
+// manages the optional debug server plus the exit-time telemetry.json
+// snapshot, so any sweep or study command can be observed live
+// (curl host:port/metrics, go tool pprof host:port/debug/pprof/profile)
+// without a rebuild.
+type telemetryFlags struct {
+	addr *string
+}
+
+// register installs the telemetry flags on fs.
+func (tf *telemetryFlags) register(fs *flag.FlagSet) {
+	tf.addr = fs.String("telemetry-addr", "",
+		"serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+}
+
+// start launches the debug server when -telemetry-addr is set and
+// returns the stop function to defer: it writes a telemetry.json
+// snapshot into snapshotDir (skipped when empty, i.e. no -rundir) and
+// shuts the server down. Like profiler.start, the stop function is
+// idempotent and also registered with onExit, so both the normal
+// return path and an early exit() — SIGINT, sweep error — produce the
+// snapshot. Exits with status 1 when the requested listen address is
+// unusable, since silently running unobserved would defeat the flag.
+func (tf *telemetryFlags) start(snapshotDir string) func() {
+	var srv *telemetry.Server
+	if *tf.addr != "" {
+		s, err := telemetry.Serve(*tf.addr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(1)
+		}
+		srv = s
+		fmt.Printf("telemetry: http://%s/metrics\n", s.Addr())
+	}
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			if snapshotDir != "" {
+				path := filepath.Join(snapshotDir, "telemetry.json")
+				if err := telemetry.Default().WriteSnapshotFile(path); err != nil {
+					fmt.Fprintln(os.Stderr, "telemetry snapshot:", err)
+				} else {
+					fmt.Printf("telemetry snapshot: %s\n", path)
+				}
+			}
+			if srv != nil {
+				srv.Close()
+			}
+		})
+	}
+	onExit(stop)
+	return stop
+}
+
+// trackerInterval paces the periodic sweep progress line.
+const trackerInterval = 15 * time.Second
+
+// sweepTracker prints a periodic progress line for a multi-panel
+// sweep: points completed (restored checkpoint cells counted
+// separately), a fresh-only completion rate with its ETA, and the
+// shots/sec throughput read from the telemetry counter. Restored cells
+// complete in microseconds, so folding them into the rate would make a
+// resumed sweep promise an absurdly near finish; only points actually
+// computed in this process feed the rate and ETA.
+type sweepTracker struct {
+	total int
+	start time.Time
+
+	mu       sync.Mutex
+	done     int
+	fresh    int
+	restored int
+
+	lastShots   uint64
+	lastShotsAt time.Time
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+}
+
+// newSweepTracker starts the progress ticker for a sweep of total grid
+// points. Call observe from every panel's progress callback and stop
+// when the sweep finishes.
+func newSweepTracker(total int) *sweepTracker {
+	t := &sweepTracker{
+		total:       total,
+		start:       time.Now(),
+		lastShots:   telemetry.Default().CounterSum("qfarith_shots_total"),
+		lastShotsAt: time.Now(),
+		stopCh:      make(chan struct{}),
+	}
+	go t.loop()
+	return t
+}
+
+// observe records one completed grid cell. Safe for concurrent use.
+func (t *sweepTracker) observe(p experiment.Progress) {
+	t.mu.Lock()
+	t.done++
+	if p.FromCheckpoint {
+		t.restored++
+	} else {
+		t.fresh++
+	}
+	t.mu.Unlock()
+}
+
+// stop halts the ticker; idempotent.
+func (t *sweepTracker) stop() {
+	t.stopOnce.Do(func() { close(t.stopCh) })
+}
+
+func (t *sweepTracker) loop() {
+	tick := time.NewTicker(trackerInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stopCh:
+			return
+		case <-tick.C:
+			t.line()
+		}
+	}
+}
+
+// line renders one progress report. The shots/sec figure is the delta
+// of the process-wide shots counter over the reporting interval, so it
+// reflects current throughput rather than a lifetime average.
+func (t *sweepTracker) line() {
+	t.mu.Lock()
+	done, fresh, restored := t.done, t.fresh, t.restored
+	t.mu.Unlock()
+	if done >= t.total {
+		return
+	}
+	now := time.Now()
+	shots := telemetry.Default().CounterSum("qfarith_shots_total")
+	sps := float64(shots-t.lastShots) / now.Sub(t.lastShotsAt).Seconds()
+	t.lastShots, t.lastShotsAt = shots, now
+
+	line := fmt.Sprintf("progress: %d/%d points", done, t.total)
+	if restored > 0 {
+		line += fmt.Sprintf(" (%d restored)", restored)
+	}
+	if fresh > 0 {
+		rate := float64(fresh) / now.Sub(t.start).Seconds()
+		eta := time.Duration(float64(t.total-done) / rate * float64(time.Second))
+		line += fmt.Sprintf(" | %.1f pts/min | ETA %s", rate*60, eta.Round(time.Second))
+	}
+	fmt.Printf("%s | %.0f shots/s\n", line, sps)
+}

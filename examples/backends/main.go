@@ -74,9 +74,9 @@ func main() {
 		Seed:   7,
 	}
 	completed := 0
-	_, err = experiment.RunPanelCtx(ctx, runner, pc, func(done, total int, r experiment.PointResult) {
-		completed = done
-		if done == 3 {
+	_, err = experiment.RunPanelCtx(ctx, runner, pc, func(p experiment.Progress) {
+		completed = p.Done
+		if p.Done == 3 {
 			cancel()
 		}
 	})

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"qfarith/internal/compile"
+	"qfarith/internal/telemetry"
 	"qfarith/internal/transpile"
 )
 
@@ -46,11 +47,36 @@ type TranspileCache struct {
 	m      map[CircuitKey]cacheEntry
 	hits   int
 	misses int
+	// ctrs memoizes the labeled hit/miss counter pair per pipeline
+	// hash: resolving a labeled counter builds its identity string, and
+	// GetCompiled runs once per point of a sweep.
+	ctrs map[string]*pipelineCounters
+}
+
+type pipelineCounters struct {
+	hit, miss *telemetry.Counter
 }
 
 // NewTranspileCache returns an empty cache.
 func NewTranspileCache() *TranspileCache {
-	return &TranspileCache{m: make(map[CircuitKey]cacheEntry)}
+	return &TranspileCache{
+		m:    make(map[CircuitKey]cacheEntry),
+		ctrs: make(map[string]*pipelineCounters),
+	}
+}
+
+// countersFor resolves (and memoizes) the cache-event counters for one
+// pipeline hash. Callers must hold c.mu.
+func (c *TranspileCache) countersFor(pipeline string) *pipelineCounters {
+	pc, ok := c.ctrs[pipeline]
+	if !ok {
+		pc = &pipelineCounters{
+			hit:  cacheCounter("transpile", "hit", pipeline),
+			miss: cacheCounter("transpile", "miss", pipeline),
+		}
+		c.ctrs[pipeline] = pc
+	}
+	return pc
 }
 
 // Get returns the cached circuit for key, calling build to construct it
@@ -75,6 +101,7 @@ func (c *TranspileCache) GetCompiled(key CircuitKey, build func() (*transpile.Re
 	defer c.mu.Unlock()
 	if e, ok := c.m[key]; ok {
 		c.hits++
+		c.countersFor(key.Pipeline).hit.Inc()
 		return e.res, e.stats, nil
 	}
 	res, stats, err := build()
@@ -82,8 +109,21 @@ func (c *TranspileCache) GetCompiled(key CircuitKey, build func() (*transpile.Re
 		return nil, nil, err
 	}
 	c.misses++
+	c.countersFor(key.Pipeline).miss.Inc()
 	c.m[key] = cacheEntry{res: res, stats: stats}
 	return res, stats, nil
+}
+
+// cacheCounter resolves the shared cache-event counter. The pipeline
+// label stays low-cardinality because a process compiles through at
+// most a handful of distinct pass configurations (see the telemetry
+// package's label rules); legacy non-pipeline builds report as "none".
+func cacheCounter(cache, result, pipeline string) *telemetry.Counter {
+	if pipeline == "" {
+		pipeline = "none"
+	}
+	return telemetry.Default().Counter("qfarith_cache_events_total",
+		telemetry.L("cache", cache), telemetry.L("result", result), telemetry.L("pipeline", pipeline))
 }
 
 // Stats reports the cache's hit and miss counts.

@@ -4,6 +4,19 @@ import (
 	"context"
 	"runtime"
 	"sync"
+
+	"qfarith/internal/telemetry"
+)
+
+// Runner telemetry, recorded into the process-wide default registry:
+// how many tasks hold a worker slot right now, how many are queued
+// waiting for one, and the latency distribution of leaf tasks. The
+// handles are resolved once at init so the hot path pays only atomic
+// ops (see the telemetry package's cardinality rules).
+var (
+	runnerInflight = telemetry.Default().Gauge("qfarith_runner_inflight")
+	runnerWaiting  = telemetry.Default().Gauge("qfarith_runner_waiting")
+	runnerTaskSec  = telemetry.Default().Histogram("qfarith_runner_task_seconds")
 )
 
 // Runner executes point specs on a Backend through one bounded worker
@@ -50,12 +63,21 @@ func (r *Runner) Cache() *TranspileCache { return r.cache }
 // worker slot (or returns early on cancellation), runs the spec, and
 // releases the slot.
 func (r *Runner) Run(ctx context.Context, spec PointSpec) (Distribution, Diagnostics, error) {
+	runnerWaiting.Inc()
 	select {
 	case <-ctx.Done():
+		runnerWaiting.Dec()
 		return nil, Diagnostics{}, ctx.Err()
 	case r.slots <- struct{}{}:
+		runnerWaiting.Dec()
 	}
-	defer func() { <-r.slots }()
+	runnerInflight.Inc()
+	sp := telemetry.StartSpan(runnerTaskSec)
+	defer func() {
+		sp.End()
+		runnerInflight.Dec()
+		<-r.slots
+	}()
 	return r.backend.Run(ctx, spec)
 }
 
@@ -84,15 +106,23 @@ func (r *Runner) Do(ctx context.Context, n int, fn func(idx int) error) error {
 		return firstErr != nil
 	}
 	for i := 0; i < n && !failed(); i++ {
+		runnerWaiting.Inc()
 		select {
 		case <-ctx.Done():
+			runnerWaiting.Dec()
 			setErr(ctx.Err())
 		case r.slots <- struct{}{}:
+			runnerWaiting.Dec()
 			wg.Add(1)
 			go func(idx int) {
 				defer wg.Done()
 				defer func() { <-r.slots }()
-				if err := fn(idx); err != nil {
+				runnerInflight.Inc()
+				sp := telemetry.StartSpan(runnerTaskSec)
+				err := fn(idx)
+				sp.End()
+				runnerInflight.Dec()
+				if err != nil {
 					setErr(err)
 				}
 			}(i)

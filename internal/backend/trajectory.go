@@ -18,6 +18,15 @@ import (
 // grids) from accumulating one engine per key forever.
 const maxCachedEngines = 64
 
+// Engine-cache telemetry, resolved once: re-resolving a labeled
+// counter builds its identity string, and engine() sits on the
+// per-instance hot path.
+var (
+	engineCacheHit      = cacheCounter("engine", "hit", "")
+	engineCacheMiss     = cacheCounter("engine", "miss", "")
+	engineCacheEviction = cacheCounter("engine", "eviction", "")
+)
+
 // TrajectoryBackend evaluates point specs with the stratified Pauli
 // trajectory mixture engine (internal/noise): the no-error stratum is
 // exact and the conditional (≥1 error) remainder is Monte Carlo over
@@ -70,10 +79,12 @@ func (t *TrajectoryBackend) engine(res *transpile.Result, model noise.Model) *no
 		t.hits++
 		e := el.Value.(*engineEntry).engine
 		t.mu.Unlock()
+		engineCacheHit.Inc()
 		return e
 	}
 	t.misses++
 	t.mu.Unlock()
+	engineCacheMiss.Inc()
 	// Build outside the lock: engine construction walks the whole
 	// circuit, and concurrent Run calls for other keys shouldn't stall
 	// behind it. A racing build for the same key just loses the insert.
@@ -90,6 +101,7 @@ func (t *TrajectoryBackend) engine(res *transpile.Result, model noise.Model) *no
 		t.order.Remove(oldest)
 		delete(t.engines, oldest.Value.(*engineEntry).key)
 		t.evictions++
+		engineCacheEviction.Inc()
 	}
 	return e
 }

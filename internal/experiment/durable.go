@@ -45,9 +45,10 @@ func decodePoint(key string, raw json.RawMessage) (PointResult, error) {
 // Resume invariant: because every cell's RNG streams derive only from
 // (PanelConfig.Seed, grid coordinates) — never from scheduling order —
 // a resumed panel's result is identical to an uninterrupted run's.
-// Restored cells are counted in the progress callback's `done` but do
-// not fire callbacks of their own.
-func RunPanelCheckpointCtx(ctx context.Context, r *backend.Runner, cfg PanelConfig, panel string, ck CheckpointStore, progress func(done, total int, r PointResult)) (PanelResult, error) {
+// Restored cells fire progress callbacks with FromCheckpoint set and
+// count toward Progress.Restored (never Fresh), so trackers can report
+// them without folding their near-zero latency into rate estimates.
+func RunPanelCheckpointCtx(ctx context.Context, r *backend.Runner, cfg PanelConfig, panel string, ck CheckpointStore, progress ProgressFunc) (PanelResult, error) {
 	return runPanel(ctx, r, cfg, panel, ck, progress)
 }
 
@@ -57,6 +58,7 @@ func RunPanelCheckpointCtx(ctx context.Context, r *backend.Runner, cfg PanelConf
 func RunPointCkptCtx(ctx context.Context, r *backend.Runner, cfg PointConfig, key string, ck CheckpointStore) (PointResult, error) {
 	if ck != nil {
 		if raw, ok := ck.LookupPoint(key); ok {
+			pointsRestored.Inc()
 			return decodePoint(key, raw)
 		}
 	}
@@ -79,6 +81,7 @@ func RunPointCkptCtx(ctx context.Context, r *backend.Runner, cfg PointConfig, ke
 func RunRoutedPointCkptCtx(ctx context.Context, r *backend.Runner, cfg PointConfig, cm *layout.CouplingMap, key string, ck CheckpointStore) (PointResult, error) {
 	if ck != nil {
 		if raw, ok := ck.LookupPoint(key); ok {
+			pointsRestored.Inc()
 			return decodePoint(key, raw)
 		}
 	}

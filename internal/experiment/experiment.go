@@ -19,6 +19,7 @@ import (
 	"qfarith/internal/metrics"
 	"qfarith/internal/noise"
 	"qfarith/internal/sim"
+	"qfarith/internal/telemetry"
 	"qfarith/internal/transpile"
 )
 
@@ -302,6 +303,7 @@ func RunPointCfgCtx(ctx context.Context, r *backend.Runner, cfg PointConfig, acf
 }
 
 func runPointOn(ctx context.Context, r *backend.Runner, cfg PointConfig, res *transpile.Result) (PointResult, error) {
+	sp := telemetry.StartSpan(pointSec)
 	results := make([]metrics.InstanceResult, cfg.Instances)
 	var (
 		diagOnce sync.Once
@@ -319,6 +321,10 @@ func runPointOn(ctx context.Context, r *backend.Runner, cfg PointConfig, res *tr
 	if err != nil {
 		return PointResult{}, err
 	}
+	// Only completed points feed the latency histogram: a cancelled
+	// point returns quickly and would drag the quantiles toward zero.
+	sp.End()
+	pointsFresh.Inc()
 
 	one, two := res.CountByArity()
 	p1, p2 := transpile.PaperCounts(srcCircuit(res))
@@ -354,6 +360,7 @@ func (cfg PointConfig) runInstance(ctx context.Context, b backend.Backend, res *
 	}
 	sampler := sim.NewSampler(splitSeed(cfg.PointSeed, uint64(idx)^0xabcdef), uint64(idx))
 	counts := sampler.Counts(dist, cfg.Shots)
+	shotsTotal.Add(uint64(cfg.Shots))
 	ir := metrics.Score(counts, cfg.correctSet(xs, ys))
 	ir.Fidelity = metrics.ClassicalFidelity(diag.Ideal, dist)
 	return ir, diag, nil

@@ -147,10 +147,13 @@ func TestPanelCSVAndTable(t *testing.T) {
 		Seed:   42,
 	}
 	calls := 0
-	res := experiment.RunPanel(pc, func(done, total int, r experiment.PointResult) {
+	res := experiment.RunPanel(pc, func(p experiment.Progress) {
 		calls++
-		if total != 4 {
-			t.Errorf("total = %d, want 4", total)
+		if p.Total != 4 {
+			t.Errorf("total = %d, want 4", p.Total)
+		}
+		if p.FromCheckpoint || p.Restored != 0 {
+			t.Error("plain panel reported checkpoint-restored points")
 		}
 	})
 	if calls != 4 {

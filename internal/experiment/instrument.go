@@ -1,0 +1,17 @@
+package experiment
+
+import "qfarith/internal/telemetry"
+
+// Sweep-layer telemetry. Handles are resolved once at package init so
+// the per-point and per-instance paths pay one atomic op per event.
+// The kind label distinguishes points computed in this process from
+// points restored out of a checkpoint log — the split progress
+// reporting needs so a resumed sweep's rate and ETA reflect only fresh
+// work (restored cells complete "instantly" and would otherwise
+// inflate both).
+var (
+	pointSec       = telemetry.Default().Histogram("qfarith_point_seconds")
+	pointsFresh    = telemetry.Default().Counter("qfarith_points_total", telemetry.L("kind", "fresh"))
+	pointsRestored = telemetry.Default().Counter("qfarith_points_total", telemetry.L("kind", "restored"))
+	shotsTotal     = telemetry.Default().Counter("qfarith_shots_total")
+)

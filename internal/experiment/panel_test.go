@@ -76,11 +76,11 @@ func TestPanelCancellationMidGrid(t *testing.T) {
 	completed := 0
 	done := make(chan error, 1)
 	go func() {
-		_, err := experiment.RunPanelCtx(ctx, r, pc, func(d, total int, _ experiment.PointResult) {
+		_, err := experiment.RunPanelCtx(ctx, r, pc, func(p experiment.Progress) {
 			mu.Lock()
-			completed = d
+			completed = p.Done
 			mu.Unlock()
-			if d == 2 {
+			if p.Done == 2 {
 				cancel()
 			}
 		})
@@ -110,7 +110,7 @@ func TestPanelPreCancelled(t *testing.T) {
 	cancel()
 	r := backend.NewRunner(backend.NewTrajectoryBackend(), 2)
 	calls := 0
-	_, err := experiment.RunPanelCtx(ctx, r, smallSweepPanel(), func(int, int, experiment.PointResult) { calls++ })
+	_, err := experiment.RunPanelCtx(ctx, r, smallSweepPanel(), func(experiment.Progress) { calls++ })
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}

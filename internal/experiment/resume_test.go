@@ -45,8 +45,8 @@ func TestPanelResumeMatchesUninterrupted(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	_, err = experiment.RunPanelCheckpointCtx(ctx, newTrajRunner(2), pc, panel, run,
-		func(done, total int, _ experiment.PointResult) {
-			if done >= 2 {
+		func(p experiment.Progress) {
+			if p.Done >= 2 {
 				cancel()
 			}
 		})
@@ -71,14 +71,26 @@ func TestPanelResumeMatchesUninterrupted(t *testing.T) {
 		t.Fatalf("all %d points checkpointed — the interrupt landed too late to test resume", total)
 	}
 
-	fresh := 0
+	fresh, fromCkpt := 0, 0
 	res, err := experiment.RunPanelCheckpointCtx(context.Background(), newTrajRunner(2), pc, panel, resumed,
-		func(done, total int, _ experiment.PointResult) { fresh++ })
+		func(p experiment.Progress) {
+			if p.FromCheckpoint {
+				fromCkpt++
+			} else {
+				fresh++
+			}
+			if p.Done != p.Fresh+p.Restored {
+				t.Errorf("Done = %d, want Fresh+Restored = %d", p.Done, p.Fresh+p.Restored)
+			}
+		})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if fresh != total-restored {
 		t.Errorf("resume re-ran %d points, want %d (restored %d of %d)", fresh, total-restored, restored, total)
+	}
+	if fromCkpt != restored {
+		t.Errorf("restored callbacks = %d, want %d", fromCkpt, restored)
 	}
 	if got, want := res.CSV(), ref.CSV(); got != want {
 		t.Errorf("resumed CSV differs from uninterrupted run:\n--- resumed ---\n%s--- uninterrupted ---\n%s", got, want)
@@ -100,14 +112,23 @@ func TestPanelCheckpointFullRerunIsFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	calls := 0
+	freshCalls, restoredCalls := 0, 0
 	second, err := experiment.RunPanelCheckpointCtx(context.Background(), newTrajRunner(4), pc, "p", run,
-		func(int, int, experiment.PointResult) { calls++ })
+		func(p experiment.Progress) {
+			if p.FromCheckpoint {
+				restoredCalls++
+			} else {
+				freshCalls++
+			}
+		})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if calls != 0 {
-		t.Errorf("full rerun simulated %d points, want 0", calls)
+	if freshCalls != 0 {
+		t.Errorf("full rerun simulated %d points, want 0", freshCalls)
+	}
+	if total := len(pc.Rates) * len(pc.Depths); restoredCalls != total {
+		t.Errorf("restored callbacks = %d, want %d", restoredCalls, total)
 	}
 	if first.CSV() != second.CSV() {
 		t.Error("restored-only panel CSV differs from computed panel CSV")

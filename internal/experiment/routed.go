@@ -10,6 +10,7 @@ import (
 	"qfarith/internal/layout"
 	"qfarith/internal/metrics"
 	"qfarith/internal/sim"
+	"qfarith/internal/telemetry"
 	"qfarith/internal/transpile"
 )
 
@@ -45,6 +46,7 @@ func RunRoutedPointCtx(ctx context.Context, r *backend.Runner, cfg PointConfig, 
 			return PointResult{}, fmt.Errorf("experiment: routed points route internally; drop %q from the pass list", compile.PassRoute)
 		}
 	}
+	sp := telemetry.StartSpan(pointSec)
 	art, err := cfg.Geometry.BuildArtifact(arith.Config{Depth: cfg.Depth, AddCut: arith.FullAdd}, cfg.Pipeline)
 	if err != nil {
 		return PointResult{}, err
@@ -112,6 +114,7 @@ func RunRoutedPointCtx(ctx context.Context, r *backend.Runner, cfg PointConfig, 
 		}
 		sampler := sim.NewSampler(splitSeed(cfg.PointSeed, uint64(idx)^0xabcdef), uint64(idx))
 		counts := sampler.Counts(dist, cfg.Shots)
+		shotsTotal.Add(uint64(cfg.Shots))
 		results[idx] = metrics.Score(counts, cfg.correctSet(xs, ys))
 		results[idx].Fidelity = metrics.ClassicalFidelity(d.Ideal, dist)
 		if idx == 0 {
@@ -122,6 +125,8 @@ func RunRoutedPointCtx(ctx context.Context, r *backend.Runner, cfg PointConfig, 
 	if err != nil {
 		return PointResult{}, err
 	}
+	sp.End()
+	pointsFresh.Inc()
 	one, two := rres.CountByArity()
 	return PointResult{
 		Config:         cfg,

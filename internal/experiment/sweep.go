@@ -130,12 +130,37 @@ func (cfg PanelConfig) PointAt(rate float64, depth int) PointConfig {
 	}
 }
 
+// Progress describes one completed grid cell of a panel sweep. Done is
+// always Fresh + Restored; trackers that estimate throughput or ETA
+// should rate only the fresh count — restored cells complete in
+// microseconds and would otherwise inflate both (the classic
+// post-resume "finishing in 30 seconds" lie).
+type Progress struct {
+	// Done counts all completed cells so far, in completion order.
+	Done int
+	// Fresh counts cells computed in this process.
+	Fresh int
+	// Restored counts cells restored from a checkpoint log.
+	Restored int
+	// Total is the number of cells in the grid.
+	Total int
+	// Point is the cell that just completed.
+	Point PointResult
+	// FromCheckpoint is true when Point was restored, not computed.
+	FromCheckpoint bool
+}
+
+// ProgressFunc observes panel sweep progress. Callbacks are serialized
+// under the panel's bookkeeping lock, so implementations may update
+// shared state without further synchronization — but must not block.
+type ProgressFunc func(Progress)
+
 // RunPanel sweeps all (rate, depth) combinations of a panel on a
 // private trajectory-backend runner. Progress callbacks fire after each
 // completed point when progress is non-nil. Sweeps that want
 // cancellation, backend selection, or a shared worker pool should call
 // RunPanelCtx.
-func RunPanel(cfg PanelConfig, progress func(done, total int, r PointResult)) PanelResult {
+func RunPanel(cfg PanelConfig, progress ProgressFunc) PanelResult {
 	res, err := RunPanelCtx(context.Background(), defaultRunner(cfg.Budget.Workers), cfg, progress)
 	if err != nil {
 		panic("experiment: " + err.Error())
@@ -149,19 +174,18 @@ func RunPanel(cfg PanelConfig, progress func(done, total int, r PointResult)) Pa
 // bounded worker pool, so panel-level and instance-level parallelism
 // share one slot budget. Results land at their (rate, depth) grid
 // index, so output ordering — and therefore CSV bytes — is independent
-// of scheduling. Progress callbacks are serialized; `done` counts
-// completed points in completion order.
+// of scheduling.
 //
 // Cancelling ctx stops the sweep mid-grid: no new instances are
 // scheduled, in-flight instances drain, and ctx.Err() is returned.
-func RunPanelCtx(ctx context.Context, r *backend.Runner, cfg PanelConfig, progress func(done, total int, r PointResult)) (PanelResult, error) {
+func RunPanelCtx(ctx context.Context, r *backend.Runner, cfg PanelConfig, progress ProgressFunc) (PanelResult, error) {
 	return runPanel(ctx, r, cfg, "", nil, progress)
 }
 
 // runPanel is the shared panel core: the plain path (ck == nil) and
 // the durable checkpoint/resume path (RunPanelCheckpointCtx) differ
 // only in whether cells are restored from / recorded into ck.
-func runPanel(ctx context.Context, r *backend.Runner, cfg PanelConfig, panel string, ck CheckpointStore, progress func(done, total int, r PointResult)) (PanelResult, error) {
+func runPanel(ctx context.Context, r *backend.Runner, cfg PanelConfig, panel string, ck CheckpointStore, progress ProgressFunc) (PanelResult, error) {
 	out := PanelResult{Config: cfg, Points: make([][]PointResult, len(cfg.Rates))}
 	for i := range out.Points {
 		out.Points[i] = make([]PointResult, len(cfg.Depths))
@@ -171,6 +195,8 @@ func runPanel(ctx context.Context, r *backend.Runner, cfg PanelConfig, panel str
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		done     int
+		fresh    int
+		restored int
 		firstErr error
 	)
 	for i, rate := range cfg.Rates {
@@ -184,7 +210,14 @@ func runPanel(ctx context.Context, r *backend.Runner, cfg PanelConfig, panel str
 						return PanelResult{}, err
 					}
 					out.Points[i][j] = pr
+					pointsRestored.Inc()
+					mu.Lock()
 					done++
+					restored++
+					if progress != nil {
+						progress(Progress{Done: done, Fresh: fresh, Restored: restored, Total: total, Point: pr, FromCheckpoint: true})
+					}
+					mu.Unlock()
 					continue
 				}
 			}
@@ -207,8 +240,9 @@ func runPanel(ctx context.Context, r *backend.Runner, cfg PanelConfig, panel str
 				}
 				out.Points[i][j] = pr
 				done++
+				fresh++
 				if progress != nil {
-					progress(done, total, pr)
+					progress(Progress{Done: done, Fresh: fresh, Restored: restored, Total: total, Point: pr})
 				}
 			}(i, j, key, cfg.PointAt(rate, d))
 		}

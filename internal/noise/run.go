@@ -6,7 +6,20 @@ import (
 
 	"qfarith/internal/gate"
 	"qfarith/internal/sim"
+	"qfarith/internal/telemetry"
 	"qfarith/internal/transpile"
+)
+
+// Mixture-engine telemetry: trajectories simulated, error events drawn,
+// and the error-containing native spans those events landed in (the
+// densified/expanded spans, the expensive part of a trajectory).
+// Counts are aggregated locally inside MixtureInto and recorded with
+// one atomic add per call, so the per-trajectory loop stays free of
+// shared-cacheline traffic.
+var (
+	mixTrajectories = telemetry.Default().Counter("qfarith_trajectories_total")
+	mixErrorEvents  = telemetry.Default().Counter("qfarith_error_events_total")
+	mixEventSpans   = telemetry.Default().Counter("qfarith_error_event_spans_total")
 )
 
 // pauli1 applies the 1q Pauli encoded 1..3 (X, Y, Z) to qubit q.
@@ -223,6 +236,19 @@ func (e *Engine) MixtureInto(out []float64, st *sim.State, initial []complex128,
 		sc.events = e.sampleConditionalAppend(sc.events, rng)
 	}
 	sc.offs[k] = len(sc.events)
+	mixTrajectories.Add(uint64(k))
+	mixErrorEvents.Add(uint64(len(sc.events)))
+	spans := 0
+	for t := 0; t < k; t++ {
+		prev := -1
+		for _, ev := range sc.events[sc.offs[t]:sc.offs[t+1]] {
+			if s := e.spanOf[ev.PhysIdx]; s != prev {
+				spans++
+				prev = s
+			}
+		}
+	}
+	mixEventSpans.Add(uint64(spans))
 
 	// Stable counting sort of trajectories by first-error span, so each
 	// checkpoint prefix is computed once and reused by its whole group.

@@ -27,6 +27,16 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"qfarith/internal/telemetry"
+)
+
+// Checkpoint telemetry: how many points have been durably appended and
+// the latency of the per-record fsync — the dominant cost of the
+// append-before-acknowledge protocol on slow disks.
+var (
+	ckptAppends  = telemetry.Default().Counter("qfarith_checkpoint_appends_total")
+	ckptFsyncSec = telemetry.Default().Histogram("qfarith_checkpoint_fsync_seconds")
 )
 
 const (
@@ -213,9 +223,13 @@ func (r *Run) AppendPoint(key string, payload any) error {
 	if _, err := r.log.Write(line); err != nil {
 		return fmt.Errorf("runstore: append point %q: %w", key, err)
 	}
-	if err := r.log.Sync(); err != nil {
+	sp := telemetry.StartSpan(ckptFsyncSec)
+	err = r.log.Sync()
+	sp.End()
+	if err != nil {
 		return fmt.Errorf("runstore: fsync point %q: %w", key, err)
 	}
+	ckptAppends.Inc()
 	r.points[key] = raw
 	return nil
 }

@@ -1,6 +1,19 @@
 package sim
 
-import "sync"
+import (
+	"sync"
+
+	"qfarith/internal/telemetry"
+)
+
+// Scratch-pool telemetry: how often the trajectory hot path recycles a
+// pooled statevector versus allocating a fresh 2^n-amplitude slice.
+// Resolved once at init; recording is a single atomic add, so the
+// zero-alloc contract of the pool is preserved.
+var (
+	scratchReuse = telemetry.Default().Counter("qfarith_scratch_states_total", telemetry.L("result", "reuse"))
+	scratchAlloc = telemetry.Default().Counter("qfarith_scratch_states_total", telemetry.L("result", "alloc"))
+)
 
 // statePools holds per-qubit-count free lists of scratch states so the
 // trajectory hot path can reuse statevectors instead of allocating
@@ -14,8 +27,10 @@ var statePools [MaxQubits + 1]sync.Pool
 func GetScratchState(n int) *State {
 	if s, ok := statePools[n].Get().(*State); ok {
 		s.workers = 1
+		scratchReuse.Inc()
 		return s
 	}
+	scratchAlloc.Inc()
 	return NewState(n)
 }
 

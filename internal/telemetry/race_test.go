@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentHammer drives every registry operation from
+// parallel workers: get-or-create races for the same and distinct
+// metrics, counter/gauge/histogram recording, and concurrent readers
+// (Prometheus exposition + snapshots) interleaved with writers. Run
+// under -race this is the registry's thread-safety contract test; the
+// CI race step executes it on every PR.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 16
+		iters   = 400
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Half the workers share one label set (create race on one
+			// metric), the rest use per-worker labels (map-growth race).
+			lbl := L("worker", "shared")
+			if w%2 == 1 {
+				lbl = L("worker", fmt.Sprintf("w%d", w))
+			}
+			for i := 0; i < iters; i++ {
+				r.Counter("hammer_events_total", lbl).Inc()
+				g := r.Gauge("hammer_inflight", lbl)
+				g.Inc()
+				r.Histogram("hammer_seconds", lbl).Observe(float64(i%10) / 1000)
+				r.Span("hammer_span_seconds", lbl).End()
+				g.Dec()
+				if i%50 == 0 {
+					// Readers interleave with writers.
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Error(err)
+						return
+					}
+					_ = r.Snapshot()
+					_ = r.CounterSum("hammer_events_total")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := r.CounterSum("hammer_events_total"); got != workers*iters {
+		t.Errorf("events counted = %d, want %d (lost updates)", got, workers*iters)
+	}
+	shared := r.Counter("hammer_events_total", L("worker", "shared"))
+	if got := shared.Value(); got != workers/2*iters {
+		t.Errorf("shared-label counter = %d, want %d", got, workers/2*iters)
+	}
+	for w := 0; w < workers; w++ {
+		if g := r.Gauge("hammer_inflight", L("worker", fmt.Sprintf("w%d", w))); w%2 == 1 && g.Value() != 0 {
+			t.Errorf("worker %d gauge = %d after balanced inc/dec, want 0", w, g.Value())
+		}
+	}
+	h := r.Histogram("hammer_seconds", L("worker", "shared"))
+	if got := h.Count(); got != workers/2*iters {
+		t.Errorf("shared histogram count = %d, want %d", got, workers/2*iters)
+	}
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server is the opt-in debug HTTP server: Prometheus text on /metrics,
+// the expvar JSON tree on /debug/vars, and the standard pprof handlers
+// under /debug/pprof/. It binds its own listener and mux — nothing is
+// registered on http.DefaultServeMux — so enabling it in one command
+// never leaks handlers into another.
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// publishExpvar exposes the default registry's snapshot under the
+// expvar name "qfarith". expvar panics on duplicate names, so this is
+// guarded for the lifetime of the process; a custom registry passed to
+// Serve is exposed on its own /debug/vars via its snapshot handler
+// regardless.
+var publishExpvar = sync.OnceFunc(func() {
+	expvar.Publish("qfarith", expvar.Func(func() any {
+		return Default().Snapshot()
+	}))
+})
+
+// Serve starts the debug server on addr ("localhost:6060", ":0", ...),
+// exposing reg (nil selects the Default registry). The server runs on a
+// background goroutine until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		reg = Default()
+	}
+	publishExpvar()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{
+		reg: reg,
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns ErrServerClosed after Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close immediately shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,64 @@
+package qfarith
+
+import "qfarith/internal/telemetry"
+
+// SweepStats summarizes the process-wide execution telemetry the
+// engine records while points run: work volume (points, shots,
+// trajectories), cache effectiveness, and point latency. It is the
+// façade counterpart of CircuitInfo — a read-only view over the
+// default telemetry registry, cheap enough to poll from a progress
+// loop. Counts are cumulative for the process; take deltas to rate
+// them.
+type SweepStats struct {
+	// PointsFresh counts sweep points computed in this process;
+	// PointsRestored counts points restored from checkpoint logs.
+	PointsFresh    uint64
+	PointsRestored uint64
+	// Shots is the total number of measurement shots sampled.
+	Shots uint64
+	// Trajectories counts conditional noise trajectories simulated.
+	Trajectories uint64
+	// CacheHits and CacheMisses aggregate every execution-layer cache
+	// (transpile and engine caches, all pipelines).
+	CacheHits   uint64
+	CacheMisses uint64
+	// PointP50 and PointP99 are windowed point-latency quantiles in
+	// seconds (0 until a point completes).
+	PointP50 float64
+	PointP99 float64
+}
+
+// Stats reads the current SweepStats from the default telemetry
+// registry.
+func Stats() SweepStats {
+	snap := telemetry.Default().Snapshot()
+	var s SweepStats
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "qfarith_points_total":
+			switch c.Labels["kind"] {
+			case "fresh":
+				s.PointsFresh += c.Value
+			case "restored":
+				s.PointsRestored += c.Value
+			}
+		case "qfarith_shots_total":
+			s.Shots += c.Value
+		case "qfarith_trajectories_total":
+			s.Trajectories += c.Value
+		case "qfarith_cache_events_total":
+			switch c.Labels["result"] {
+			case "hit":
+				s.CacheHits += c.Value
+			case "miss":
+				s.CacheMisses += c.Value
+			}
+		}
+	}
+	for _, h := range snap.Histograms {
+		if h.Name == "qfarith_point_seconds" {
+			s.PointP50, s.PointP99 = h.P50, h.P99
+		}
+	}
+	return s
+}

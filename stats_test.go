@@ -1,0 +1,25 @@
+package qfarith_test
+
+import (
+	"testing"
+
+	"qfarith"
+)
+
+// TestStatsAdvances checks the façade's telemetry view: simulating
+// noisy arithmetic must advance the trajectory counter. The registry
+// is process-global and shared with every other test, so only deltas
+// are asserted.
+func TestStatsAdvances(t *testing.T) {
+	before := qfarith.Stats()
+	x := qfarith.Uniform(3, 1, 2)
+	y := qfarith.Basis(4, 3)
+	res := qfarith.Add(x, y, qfarith.WithNoise(0.002, 0.01))
+	if len(res.Counts) == 0 {
+		t.Fatal("Add returned no shot histogram")
+	}
+	after := qfarith.Stats()
+	if after.Trajectories <= before.Trajectories {
+		t.Errorf("Trajectories did not advance: %d -> %d", before.Trajectories, after.Trajectories)
+	}
+}
