@@ -308,6 +308,35 @@ func BenchmarkTrajectoryMixtureSteadyState(b *testing.B) {
 	}
 }
 
+// BenchmarkTrajectoryMixtureBatch is the batched-engine counterpart of
+// BenchmarkTrajectoryMixtureSteadyState: the same qfa-d3 K=32 mixture
+// through MixtureBatchInto at several batch widths (batch=1 delegates to
+// the scalar engine and serves as the in-harness baseline). The ≥1.3×
+// batched-vs-scalar acceptance of the SoA engine is measured here; see
+// results/bench_batched_engine.md.
+func BenchmarkTrajectoryMixtureBatch(b *testing.B) {
+	geo := experiment.PaperAddGeometry()
+	res := geo.BuildCircuit(3)
+	engine := noise.NewEngine(res, noise.PaperModel(0.002, 0.01))
+	st := sim.NewState(geo.TotalQubits)
+	initial := make([]complex128, st.Dim())
+	initial[0] = 1
+	out := make([]float64, 1<<uint(len(geo.OutReg)))
+	opts := noise.MixtureOpts{Trajectories: 32, Measure: geo.OutReg}
+	for _, batch := range []int{1, 2, 3, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("qfa-d3-k32-b%d", batch), func(b *testing.B) {
+			rng := sim.NewSampler(21, 42).Rand()
+			defer debug.SetGCPercent(debug.SetGCPercent(-1))
+			engine.MixtureBatchInto(out, st, initial, opts, rng, batch) // warm the pools
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				engine.MixtureBatchInto(out, st, initial, opts, rng, batch)
+			}
+		})
+	}
+}
+
 func BenchmarkTranspileQFM(b *testing.B) {
 	c := arith.NewQFM(4, 4, arith.DefaultConfig())
 	b.ResetTimer()

@@ -121,6 +121,7 @@ func runAblateRouting(args []string) {
 	backendName := fs.String("backend", backend.DefaultName,
 		"execution backend: "+strings.Join(backend.Names(), "|"))
 	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	batch := fs.Int("batch", 0, "trajectories per SoA batch (trajectory-batch backend; 0 = auto)")
 	rundir := fs.String("rundir", "", "durable run directory (per-topology checkpoints)")
 	resume := fs.Bool("resume", false, "resume the run in -rundir, skipping checkpointed topologies")
 	var cf compileFlags
@@ -133,7 +134,7 @@ func runAblateRouting(args []string) {
 	defer prof.start()()
 	ctx, stop := sweepContext()
 	defer stop()
-	runner := newRunnerOrExit(*backendName, *workers)
+	runner := newRunnerOrExit(*backendName, *workers, *batch)
 
 	geo := experiment.PaperAddGeometry()
 	cfg := experiment.PointConfig{
@@ -198,6 +199,7 @@ func runScaling(args []string) {
 	backendName := fs.String("backend", backend.DefaultName,
 		"execution backend: "+strings.Join(backend.Names(), "|")+" (density caps n at 5)")
 	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	batch := fs.Int("batch", 0, "trajectories per SoA batch (trajectory-batch backend; 0 = auto)")
 	var cf compileFlags
 	cf.register(fs)
 	var prof profiler
@@ -210,7 +212,7 @@ func runScaling(args []string) {
 	pcfg := cf.config()
 	ctx, stop := sweepContext()
 	defer stop()
-	runner := newRunnerOrExit(*backendName, *workers)
+	runner := newRunnerOrExit(*backendName, *workers, *batch)
 
 	var ns []int
 	for _, tok := range strings.Split(*widths, ",") {

@@ -130,6 +130,7 @@ type sweepFlags struct {
 	orderSets [][2]int
 	backend   string
 	workers   int
+	batch     int
 	rundir    string
 	resume    bool
 	pipeline  compile.Config
@@ -140,14 +141,22 @@ type sweepFlags struct {
 // runner builds the shared execution runner the sweep submits to: the
 // selected backend behind one bounded worker pool.
 func (sf sweepFlags) runner() *backend.Runner {
-	return newRunnerOrExit(sf.backend, sf.workers)
+	return newRunnerOrExit(sf.backend, sf.workers, sf.batch)
 }
 
-func newRunnerOrExit(backendName string, workers int) *backend.Runner {
+func newRunnerOrExit(backendName string, workers, batch int) *backend.Runner {
 	b, err := backend.New(backendName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		exit(2)
+	}
+	if batch > 0 {
+		bs, ok := b.(backend.BatchSizer)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "-batch requires a batching backend (have %q; use -backend trajectory-batch)\n", backendName)
+			exit(2)
+		}
+		bs.SetBatchLanes(batch)
 	}
 	return backend.NewRunner(b, workers)
 }
@@ -176,8 +185,9 @@ func exitSweepErr(err error, run *runstore.Run) {
 }
 
 // sweepSpec is the hashed identity of a sweep: every field that
-// determines point results. Scheduling knobs (workers, output paths)
-// are deliberately excluded — they cannot change results, so a resumed
+// determines point results. Scheduling knobs (workers, batch width,
+// output paths) are deliberately excluded — they cannot change results
+// (the batched engine is bit-identical at every width), so a resumed
 // run may vary them freely.
 type sweepSpec struct {
 	Command   string
@@ -264,6 +274,7 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 	backendName := fs.String("backend", backend.DefaultName,
 		"execution backend: "+strings.Join(backend.Names(), "|"))
 	workers := fs.Int("workers", 0, "worker-pool size shared across points and instances (0 = GOMAXPROCS)")
+	batch := fs.Int("batch", 0, "trajectories simulated per SoA batch (trajectory-batch backend; 0 = auto-size to cache)")
 	rundir := fs.String("rundir", "", "durable run directory: manifest + per-point checkpoint log; artifacts land here")
 	resume := fs.Bool("resume", false, "resume the run in -rundir, skipping checkpointed points")
 	var cf compileFlags
@@ -304,7 +315,7 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 	b.Workers = *workers
 	sf := sweepFlags{budget: b, outDir: *out, seed: *seed,
 		rates1q: experiment.PaperRates1Q, rates2q: experiment.PaperRates2Q,
-		backend: *backendName, workers: *workers,
+		backend: *backendName, workers: *workers, batch: *batch,
 		rundir: *rundir, resume: *resume, pipeline: pcfg, prof: prof, telem: telem}
 	if *rates != "" {
 		var grid []float64
@@ -480,7 +491,7 @@ func runFigure(args []string, geo experiment.Geometry, depths []int, name string
 	hits, misses := runner.Cache().Stats()
 	fmt.Printf("transpile cache: %d built, %d reused\n", misses, hits)
 	printPassStats(runner.Cache())
-	if tb, ok := runner.Backend().(*backend.TrajectoryBackend); ok {
+	if tb, ok := runner.Backend().(backend.EngineCacheStatser); ok {
 		eh, em, ev := tb.EngineCacheStats()
 		fmt.Printf("engine cache: %d built, %d reused, %d evicted\n", em, eh, ev)
 	}

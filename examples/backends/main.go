@@ -1,11 +1,13 @@
 // Backends: tour of the pluggable execution-backend layer. One small
-// noisy Fourier addition is evaluated by every registered backend —
-// the stratified trajectory mixture estimator at increasing trajectory
-// budgets, then exact density-matrix channel evolution — showing the
-// Monte Carlo estimate converging onto the exact channel output. The
-// second half runs a panel sweep through a shared Runner and cancels it
-// mid-grid, demonstrating that one bounded worker pool serves point-
-// and instance-level parallelism and unwinds cleanly on cancellation.
+// noisy Fourier addition is evaluated by every backend in the registry
+// — discovered through backend.Names(), not hardcoded, so backends
+// added later show up here automatically. The two trajectory engines
+// (scalar and SoA-batched) are then pinned against each other: for
+// equal seeds their distributions must match bit for bit at every
+// batch width. The second half runs a panel sweep through a shared
+// Runner and cancels it mid-grid, demonstrating that one bounded
+// worker pool serves point- and instance-level parallelism and unwinds
+// cleanly on cancellation.
 package main
 
 import (
@@ -39,7 +41,11 @@ func main() {
 		Seed1:   42, Seed2: 43,
 	}
 
-	exactB, _ := backend.New("density")
+	// Exact channel output first, as the reference column.
+	exactB, err := backend.New("density")
+	if err != nil {
+		panic(err)
+	}
 	exact, diag, err := exactB.Run(context.Background(), spec)
 	if err != nil {
 		panic(err)
@@ -47,6 +53,23 @@ func main() {
 	fmt.Printf("QFA %d+%d under λ1=0.2%% λ2=1%% (w0 = %.3f)\n", x, y, diag.NoErrorProb)
 	fmt.Printf("%-24s %12s %14s\n", "backend", "P(correct)", "L1 vs exact")
 
+	// Every registered backend on the same point, discovered by name.
+	spec.Trajectories = 4096
+	for _, name := range backend.Names() {
+		b, err := backend.New(name)
+		if err != nil {
+			panic(err)
+		}
+		dist, _, err := b.Run(context.Background(), spec)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-24s %12.4f %14.4f\n", name, dist[want], l1(dist, exact))
+	}
+
+	// The Monte Carlo estimate converges onto the exact output as the
+	// trajectory budget grows.
+	fmt.Println()
 	trajB, _ := backend.New("trajectory")
 	for _, k := range []int{16, 256, 4096} {
 		spec.Trajectories = k
@@ -58,6 +81,29 @@ func main() {
 			fmt.Sprintf("trajectory (K=%d)", k), dist[want], l1(dist, exact))
 	}
 	fmt.Printf("%-24s %12.4f %14s\n", "density (exact)", exact[want], "—")
+
+	// The batched engine is not "close to" the scalar engine — it is the
+	// same computation. Assert bit-identity at several batch widths.
+	spec.Trajectories = 512
+	ref, _, err := trajB.Run(context.Background(), spec)
+	if err != nil {
+		panic(err)
+	}
+	for _, lanes := range []int{0, 1, 4, 8} {
+		bb, _ := backend.New("trajectory-batch")
+		bb.(backend.BatchSizer).SetBatchLanes(lanes)
+		dist, _, err := bb.Run(context.Background(), spec)
+		if err != nil {
+			panic(err)
+		}
+		for i := range dist {
+			if math.Float64bits(dist[i]) != math.Float64bits(ref[i]) {
+				panic(fmt.Sprintf("trajectory-batch (lanes=%d) diverged from trajectory at outcome %d: %g vs %g",
+					lanes, i, dist[i], ref[i]))
+			}
+		}
+	}
+	fmt.Println("\ntrajectory-batch == trajectory bit-for-bit at lanes 0 (auto), 1, 4, 8")
 
 	// A cancellable panel sweep on a shared Runner: cancel after the
 	// third completed point and show the sweep stops mid-grid.

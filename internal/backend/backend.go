@@ -1,9 +1,12 @@
 // Package backend is the unified execution layer: it owns how a single
 // prepared circuit execution ("point spec") is evaluated under noise,
-// behind a pluggable Backend interface. Two implementations ship:
+// behind a pluggable Backend interface. Three implementations ship:
 //
 //   - TrajectoryBackend — the stratified Pauli-trajectory mixture engine
 //     (internal/noise), the default and the only choice at large widths;
+//   - BatchTrajectoryBackend — the same mixture engine simulating
+//     trajectories in structure-of-arrays batches ("trajectory-batch"),
+//     bit-identical to TrajectoryBackend for equal seeds;
 //   - DensityBackend — exact density-matrix channel evolution
 //     (internal/density), quadratically more expensive but Monte-Carlo
 //     free, usable as ground truth at small register widths.
@@ -105,8 +108,9 @@ const DefaultName = "trajectory"
 var (
 	registryMu sync.RWMutex
 	registry   = map[string]func() Backend{
-		"trajectory": func() Backend { return NewTrajectoryBackend() },
-		"density":    func() Backend { return NewDensityBackend() },
+		"trajectory":       func() Backend { return NewTrajectoryBackend() },
+		"trajectory-batch": func() Backend { return NewBatchTrajectoryBackend() },
+		"density":          func() Backend { return NewDensityBackend() },
 	}
 )
 

@@ -168,3 +168,34 @@ func TestDensityMatchesTrajectory(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchTrajectoryBitIdenticalToScalar pins the batched backend's
+// core contract: for equal seeds, "trajectory-batch" returns the exact
+// bytes "trajectory" returns — at automatic sizing and at several fixed
+// batch widths, including widths above the trajectory count.
+func TestBatchTrajectoryBitIdenticalToScalar(t *testing.T) {
+	spec := smallSpec(48)
+	want, wantDiag, err := backend.NewTrajectoryBackend().Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lanes := range []int{0, 1, 2, 3, 8, 64} {
+		bb := backend.NewBatchTrajectoryBackend()
+		bb.SetBatchLanes(lanes)
+		got, diag, err := bb.Run(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("lanes=%d: %v", lanes, err)
+		}
+		if diag.Backend != "trajectory-batch" {
+			t.Fatalf("lanes=%d: diagnostics name %q", lanes, diag.Backend)
+		}
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("lanes=%d: dist[%d] = %g, scalar %g", lanes, i, got[i], want[i])
+			}
+			if math.Float64bits(wantDiag.Ideal[i]) != math.Float64bits(diag.Ideal[i]) {
+				t.Fatalf("lanes=%d: ideal[%d] = %g, scalar %g", lanes, i, diag.Ideal[i], wantDiag.Ideal[i])
+			}
+		}
+	}
+}

@@ -134,6 +134,13 @@ var runPool = sync.Pool{New: func() any { return new(runScratch) }}
 // regardless of scheduling. The statevector and preparation buffers are
 // pooled; only the returned distributions are freshly allocated.
 func (t *TrajectoryBackend) Run(ctx context.Context, spec PointSpec) (Distribution, Diagnostics, error) {
+	return t.runWith(ctx, spec, t.Name(), 1)
+}
+
+// runWith evaluates spec through the mixture engine, simulating up to
+// `batch` conditional trajectories at a time (batch <= 1 selects the
+// scalar path; both paths are bit-identical for equal seeds).
+func (t *TrajectoryBackend) runWith(ctx context.Context, spec PointSpec, name string, batch int) (Distribution, Diagnostics, error) {
 	if err := spec.validate(); err != nil {
 		return nil, Diagnostics{}, err
 	}
@@ -159,16 +166,72 @@ func (t *TrajectoryBackend) Run(ctx context.Context, spec PointSpec) (Distributi
 	dist := make(Distribution, 1<<uint(len(spec.Measure)))
 	ideal := make(Distribution, len(dist))
 	rng := rand.New(rand.NewPCG(spec.Seed1, spec.Seed2))
-	engine.MixtureInto(dist, st, initial, noise.MixtureOpts{
+	engine.MixtureBatchInto(dist, st, initial, noise.MixtureOpts{
 		Trajectories: spec.Trajectories,
 		Measure:      spec.Measure,
 		IdealOut:     ideal,
-	}, rng)
+	}, rng, batch)
 	diag := Diagnostics{
-		Backend:        t.Name(),
+		Backend:        name,
 		NoErrorProb:    engine.NoErrorProb(),
 		ExpectedErrors: engine.ExpectedErrors(),
 		Ideal:          ideal,
 	}
 	return dist, diag, nil
+}
+
+// BatchTrajectoryBackend evaluates point specs with the same stratified
+// mixture engine as TrajectoryBackend but simulates trajectories in
+// structure-of-arrays batches (noise.MixtureBatchInto). Results are
+// bit-identical to the scalar backend for equal seeds; only the
+// wall-clock profile differs. It shares the engine LRU implementation
+// (and its telemetry) through the embedded TrajectoryBackend.
+type BatchTrajectoryBackend struct {
+	*TrajectoryBackend
+	// batch is the configured lane count; 0 selects the automatic
+	// cache-sized width (sim.DefaultBatchLanes) per circuit.
+	batch int
+}
+
+// NewBatchTrajectoryBackend returns a batched trajectory backend with
+// an empty engine cache and automatic batch sizing.
+func NewBatchTrajectoryBackend() *BatchTrajectoryBackend {
+	return &BatchTrajectoryBackend{TrajectoryBackend: NewTrajectoryBackend()}
+}
+
+// Name implements Backend.
+func (b *BatchTrajectoryBackend) Name() string { return "trajectory-batch" }
+
+// SetBatchLanes implements BatchSizer: lanes > 0 fixes the batch width,
+// 0 restores automatic sizing.
+func (b *BatchTrajectoryBackend) SetBatchLanes(lanes int) {
+	if lanes < 0 {
+		lanes = 0
+	}
+	b.batch = lanes
+}
+
+// Run implements Backend.
+func (b *BatchTrajectoryBackend) Run(ctx context.Context, spec PointSpec) (Distribution, Diagnostics, error) {
+	batch := b.batch
+	if batch == 0 && spec.Circuit != nil {
+		batch = sim.DefaultBatchLanes(spec.Circuit.NumQubits)
+	}
+	return b.runWith(ctx, spec, b.Name(), batch)
+}
+
+// BatchSizer is implemented by backends whose trajectory batch width is
+// configurable (the -batch CLI flag).
+type BatchSizer interface {
+	// SetBatchLanes fixes the number of trajectories simulated per
+	// batch; 0 selects the backend's automatic sizing.
+	SetBatchLanes(lanes int)
+}
+
+// EngineCacheStatser is implemented by backends that expose engine-LRU
+// statistics (reporting layers print these without depending on the
+// concrete backend type).
+type EngineCacheStatser interface {
+	EngineCacheStats() (hits, misses, evictions int)
+	EngineCacheLen() int
 }

@@ -1,0 +1,79 @@
+package backend
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"qfarith/internal/arith"
+	"qfarith/internal/noise"
+	"qfarith/internal/qft"
+	"qfarith/internal/transpile"
+)
+
+// TestEngineCacheConcurrentEviction hammers one TrajectoryBackend's
+// engine LRU from many goroutines with more distinct (circuit, model)
+// keys than the cache holds, so hits, misses, racing duplicate builds,
+// and evictions all interleave. Run under -race this doubles as the
+// data-race check for the build-outside-lock path; afterwards the cache
+// stats must be internally consistent.
+func TestEngineCacheConcurrentEviction(t *testing.T) {
+	res := transpile.Transpile(arith.NewQFA(2, 2, arith.Config{Depth: qft.Full, AddCut: arith.FullAdd}))
+
+	// More distinct models than maxCachedEngines, so the LRU must evict.
+	nKeys := maxCachedEngines + 16
+	models := make([]noise.Model, nKeys)
+	for i := range models {
+		models[i] = noise.PaperModel(0.001+0.0001*float64(i), 0.01)
+	}
+
+	const workers = 8
+	const runsPerWorker = 200
+	tb := NewTrajectoryBackend()
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < runsPerWorker; i++ {
+				spec := PointSpec{
+					Circuit:      res,
+					Model:        models[(w*31+i*7)%nKeys],
+					Measure:      []int{0, 1},
+					Trajectories: 2,
+					Seed1:        uint64(w), Seed2: uint64(i),
+				}
+				if _, _, err := tb.Run(context.Background(), spec); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	hits, misses, evictions := tb.EngineCacheStats()
+	n := tb.EngineCacheLen()
+	if n > maxCachedEngines {
+		t.Errorf("cache holds %d engines, cap is %d", n, maxCachedEngines)
+	}
+	if total := workers * runsPerWorker; hits+misses != total {
+		t.Errorf("hits(%d) + misses(%d) = %d, want %d runs", hits, misses, hits+misses, total)
+	}
+	if evictions > misses {
+		t.Errorf("evictions(%d) > misses(%d)", evictions, misses)
+	}
+	// Every resident engine came from a miss that inserted (racing
+	// duplicate builds lose their insert), minus what eviction removed.
+	if n > misses-evictions {
+		t.Errorf("cache length %d exceeds inserts-upper-bound misses(%d) - evictions(%d)", n, misses, evictions)
+	}
+	if evictions == 0 {
+		t.Errorf("no evictions after %d distinct keys over a %d-entry cache", nKeys, maxCachedEngines)
+	}
+}

@@ -25,8 +25,36 @@ const maxDenseDim = 1 << sim.MaxDenseQubits
 // unitary. Returns false if the span touches more than MaxDenseQubits
 // distinct qubits, in which case the caller must expand it natively.
 func (e *Engine) applyEventSpan(st *sim.State, si int, events []Event) bool {
-	span := e.Res.Spans[si]
 	var qs [sim.MaxDenseQubits]int
+	var rm [maxDenseDim * maxDenseDim]complex128
+	k, ok := e.composeEventSpan(si, events, &qs, &rm)
+	if !ok {
+		return false
+	}
+	st.ApplyKQ(qs[:k], rm[:(1<<uint(k))*(1<<uint(k))])
+	return true
+}
+
+// applyEventSpanLane is applyEventSpan on one lane of a batch: the same
+// composed dense unitary goes through ApplyKQBatch, whose per-lane
+// arithmetic is bit-identical to State.ApplyKQ.
+func (e *Engine) applyEventSpanLane(bs *sim.BatchState, si int, events []Event, lane int) bool {
+	var qs [sim.MaxDenseQubits]int
+	var rm [maxDenseDim * maxDenseDim]complex128
+	k, ok := e.composeEventSpan(si, events, &qs, &rm)
+	if !ok {
+		return false
+	}
+	bs.ApplyKQBatch(qs[:k], rm[:(1<<uint(k))*(1<<uint(k))], lane, lane+1)
+	return true
+}
+
+// composeEventSpan composes span si's native ops with the given events
+// inserted into one row-major dense unitary on the span's distinct
+// qubits, filling qs[:k] and rm[:2^k*2^k]. Returns ok=false if the span
+// touches more than MaxDenseQubits distinct qubits.
+func (e *Engine) composeEventSpan(si int, events []Event, qs *[sim.MaxDenseQubits]int, rm *[maxDenseDim * maxDenseDim]complex128) (int, bool) {
+	span := e.Res.Spans[si]
 	k := 0
 	for pi := span.Start; pi < span.End; pi++ {
 		op := e.Res.Ops[pi]
@@ -41,7 +69,7 @@ func (e *Engine) applyEventSpan(st *sim.State, si int, events []Event) bool {
 			}
 			if !seen {
 				if k == sim.MaxDenseQubits {
-					return false
+					return 0, false
 				}
 				qs[k] = q
 				k++
@@ -59,18 +87,18 @@ func (e *Engine) applyEventSpan(st *sim.State, si int, events []Event) bool {
 	for pi := span.Start; pi < span.End; pi++ {
 		op := e.Res.Ops[pi]
 		if op.Kind == gate.CX {
-			localCX(d[:], dim, localBit(qs, k, op.Qubits[0]), localBit(qs, k, op.Qubits[1]))
+			localCX(d[:], dim, localBit(*qs, k, op.Qubits[0]), localBit(*qs, k, op.Qubits[1]))
 		} else if op.Kind != gate.I {
 			m00, m01, m10, m11 := native1Q(op.Kind, op.Theta)
-			local1Q(d[:], dim, localBit(qs, k, op.Qubits[0]), m00, m01, m10, m11)
+			local1Q(d[:], dim, localBit(*qs, k, op.Qubits[0]), m00, m01, m10, m11)
 		}
 		for ei < len(events) && events[ei].PhysIdx == pi {
 			ev := events[ei]
 			if op.Kind == gate.CX {
-				applyLocalPauli(d[:], dim, localBit(qs, k, op.Qubits[0]), ev.Pauli>>2)
-				applyLocalPauli(d[:], dim, localBit(qs, k, op.Qubits[1]), ev.Pauli&3)
+				applyLocalPauli(d[:], dim, localBit(*qs, k, op.Qubits[0]), ev.Pauli>>2)
+				applyLocalPauli(d[:], dim, localBit(*qs, k, op.Qubits[1]), ev.Pauli&3)
 			} else {
-				applyLocalPauli(d[:], dim, localBit(qs, k, op.Qubits[0]), ev.Pauli)
+				applyLocalPauli(d[:], dim, localBit(*qs, k, op.Qubits[0]), ev.Pauli)
 			}
 			ei++
 		}
@@ -79,14 +107,12 @@ func (e *Engine) applyEventSpan(st *sim.State, si int, events []Event) bool {
 		panic("noise: span events out of range")
 	}
 	// ApplyKQ wants row-major.
-	var rm [maxDenseDim * maxDenseDim]complex128
 	for i := 0; i < dim; i++ {
 		for j := 0; j < dim; j++ {
 			rm[i*dim+j] = d[j*dim+i]
 		}
 	}
-	st.ApplyKQ(qs[:k], rm[:dim*dim])
-	return true
+	return k, true
 }
 
 // localBit maps a global qubit to its local bit index within the span.

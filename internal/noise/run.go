@@ -99,13 +99,27 @@ func (e *Engine) RunTrajectory(st *sim.State, events []Event) {
 // how many events were consumed. st must already hold the error-free
 // state after spans [0, startSpan).
 func (e *Engine) runTrajectoryFrom(st *sim.State, events []Event, startSpan int) int {
+	return e.runSpanRange(st, events, startSpan, len(e.Res.Spans))
+}
+
+// runSpanRange simulates spans [lo, hi) with the given events (sorted by
+// PhysIdx) and returns how many events were consumed. Events whose span
+// is ≥ hi are left unconsumed for a later call, so a trajectory can be
+// executed as any sequence of runSpanRange calls over adjacent ranges
+// and stay bit-identical to one full pass: applyFusedRange decomposes at
+// segment boundaries internally, and diagonal segments split bit-exactly
+// at any op boundary (Segment.TermsFor). The batched mixture path relies
+// on this to interleave per-segment batched execution with scalar
+// event-span fallbacks.
+func (e *Engine) runSpanRange(st *sim.State, events []Event, lo, hi int) int {
 	res := e.Res
-	nSpans := len(res.Spans)
 	ei := 0
-	for si := startSpan; si < nSpans; {
-		next := nSpans
+	for si := lo; si < hi; {
+		next := hi
 		if ei < len(events) {
-			next = e.spanOf[events[ei].PhysIdx]
+			if s := e.spanOf[events[ei].PhysIdx]; s < hi {
+				next = s
+			}
 		}
 		if next > si {
 			// Event-free stretch: fused fast path. (Spans and Source are
@@ -164,6 +178,11 @@ type mixScratch struct {
 	count  []int     // counting-sort workspace
 	marg   []float64 // K per-trajectory marginals, k*len(out) flat
 	ideal  []float64 // error-free marginal
+	// Batched-path lane bookkeeping (MixtureBatchInto only).
+	laneStart []int     // per-lane first-error span (branch point)
+	evCur     []int     // per-lane cursor into events (next unconsumed)
+	evEnd     []int     // per-lane end of its event list
+	lprob     []float64 // per-lane marginals of one batch, lane-major
 }
 
 var mixPool = sync.Pool{New: func() any { return new(mixScratch) }}
@@ -226,9 +245,57 @@ func (e *Engine) MixtureInto(out []float64, st *sim.State, initial []complex128,
 	}
 	sc := mixPool.Get().(*mixScratch)
 	defer mixPool.Put(sc)
+	e.sampleAndGroup(sc, k, rng)
 
-	// Sample all K event lists in trajectory order — simulation consumes
-	// no randomness, so the draw sequence matches the naive loop.
+	// One error-free forward pass. Each group branches off the prefix at
+	// its first-error span; finishing the pass yields the ideal stratum.
+	nSpans := len(e.Res.Spans)
+	sc.marg = grownFloats(sc.marg, k*m)
+	prefix := sim.GetScratchState(st.NumQubits())
+	defer sim.PutScratchState(prefix)
+	prefix.SetWorkers(st.Workers())
+	prefix.SetAmplitudes(initial)
+	cur := 0
+	for gi := 0; gi < k; {
+		s := sc.first[sc.order[gi]]
+		e.applyFusedRange(prefix, cur, s)
+		cur = s
+		for ; gi < k && sc.first[sc.order[gi]] == s; gi++ {
+			t := sc.order[gi]
+			st.CopyFrom(prefix)
+			ev := sc.events[sc.offs[t]:sc.offs[t+1]]
+			if used := e.runTrajectoryFrom(st, ev, s); used != len(ev) {
+				panic("noise: trajectory events out of range")
+			}
+			st.RegisterProbsInto(sc.marg[t*m:(t+1)*m], opts.Measure)
+		}
+	}
+	e.applyFusedRange(prefix, cur, nSpans)
+	sc.ideal = grownFloats(sc.ideal, m)
+	prefix.RegisterProbsInto(sc.ideal, opts.Measure)
+	if opts.IdealOut != nil {
+		copy(opts.IdealOut, sc.ideal)
+	}
+
+	// Accumulate in the order the naive loop used: ideal stratum first,
+	// then trajectories 0..K-1 — identical float additions, identical out.
+	for i := range out {
+		out[i] = 0
+	}
+	sim.MixInto(out, sc.ideal, e.w0)
+	wt := (1 - e.w0) / float64(k)
+	for t := 0; t < k; t++ {
+		sim.MixInto(out, sc.marg[t*m:(t+1)*m], wt)
+	}
+}
+
+// sampleAndGroup samples the K conditional event lists into sc in
+// trajectory order and computes the stable grouping of trajectories by
+// first-error span. This is the single sampling stage shared by the
+// scalar and batched mixture paths: all randomness is consumed here, in
+// the exact per-trajectory draw order documented in DESIGN.md, so both
+// paths see bit-identical event lists for a fixed seed.
+func (e *Engine) sampleAndGroup(sc *mixScratch, k int, rng *rand.Rand) {
 	sc.events = sc.events[:0]
 	sc.offs = grownInts(sc.offs, k+1)
 	for t := 0; t < k; t++ {
@@ -273,45 +340,5 @@ func (e *Engine) MixtureInto(out []float64, st *sim.State, initial []complex128,
 	for t := 0; t < k; t++ {
 		sc.order[sc.count[sc.first[t]]] = t
 		sc.count[sc.first[t]]++
-	}
-
-	// One error-free forward pass. Each group branches off the prefix at
-	// its first-error span; finishing the pass yields the ideal stratum.
-	sc.marg = grownFloats(sc.marg, k*m)
-	prefix := sim.GetScratchState(st.NumQubits())
-	defer sim.PutScratchState(prefix)
-	prefix.SetWorkers(st.Workers())
-	prefix.SetAmplitudes(initial)
-	cur := 0
-	for gi := 0; gi < k; {
-		s := sc.first[sc.order[gi]]
-		e.applyFusedRange(prefix, cur, s)
-		cur = s
-		for ; gi < k && sc.first[sc.order[gi]] == s; gi++ {
-			t := sc.order[gi]
-			st.CopyFrom(prefix)
-			ev := sc.events[sc.offs[t]:sc.offs[t+1]]
-			if used := e.runTrajectoryFrom(st, ev, s); used != len(ev) {
-				panic("noise: trajectory events out of range")
-			}
-			st.RegisterProbsInto(sc.marg[t*m:(t+1)*m], opts.Measure)
-		}
-	}
-	e.applyFusedRange(prefix, cur, nSpans)
-	sc.ideal = grownFloats(sc.ideal, m)
-	prefix.RegisterProbsInto(sc.ideal, opts.Measure)
-	if opts.IdealOut != nil {
-		copy(opts.IdealOut, sc.ideal)
-	}
-
-	// Accumulate in the order the naive loop used: ideal stratum first,
-	// then trajectories 0..K-1 — identical float additions, identical out.
-	for i := range out {
-		out[i] = 0
-	}
-	sim.MixInto(out, sc.ideal, e.w0)
-	wt := (1 - e.w0) / float64(k)
-	for t := 0; t < k; t++ {
-		sim.MixInto(out, sc.marg[t*m:(t+1)*m], wt)
 	}
 }

@@ -1,0 +1,693 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+
+	"qfarith/internal/circuit"
+	"qfarith/internal/gate"
+)
+
+// BatchState holds K statevectors over the same n qubits in
+// structure-of-arrays layout so batched kernels stream one contiguous
+// buffer instead of K separate ones.
+//
+// Layout: amplitude-major. amps[idx*K + lane] is amplitude idx of lane
+// `lane`, so the K copies of any amplitude are contiguous and a kernel
+// visiting amplitude idx touches one run of K complex values. The
+// alternative (lane-major, each lane a contiguous 2^n vector) is what
+// running the scalar kernels per lane already gives; the layout
+// microbenchmark BenchmarkBatchLayout shows amplitude-major winning on
+// the diagonal-run kernel that dominates Fourier arithmetic, because
+// the per-amplitude sub-lattice enumeration (a serial dependency chain)
+// amortizes over K independent contiguous multiplies. See DESIGN.md
+// "Batched trajectory engine".
+//
+// Every batched kernel takes a half-open lane range [laneLo, laneHi)
+// and performs, per lane, exactly the floating-point operations of the
+// corresponding single-state kernel in the same order, so a lane's
+// evolution is bit-identical to evolving it alone in a State. Batched
+// kernels are serial (the batch itself is the parallelism unit).
+type BatchState struct {
+	n    int
+	k    int
+	amps []complex128 // len 2^n * k, amps[idx*k+lane]
+
+	// diagActive is reusable scratch for ApplyDiagTermsBatch's per-block
+	// term filtering, mirroring State.diagActive.
+	diagActive []circuit.DiagTerm
+}
+
+// NewBatchState returns a K-lane n-qubit batch with every lane in the
+// all-zeros state |0...0>.
+func NewBatchState(n, k int) *BatchState {
+	if n <= 0 || n > MaxQubits {
+		panic(fmt.Sprintf("sim: invalid qubit count %d", n))
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("sim: invalid batch lane count %d", k))
+	}
+	b := &BatchState{n: n, k: k, amps: make([]complex128, (1<<uint(n))*k)}
+	for l := 0; l < k; l++ {
+		b.amps[l] = 1
+	}
+	return b
+}
+
+// NumQubits returns the number of qubits per lane.
+func (b *BatchState) NumQubits() int { return b.n }
+
+// Lanes returns the number of statevectors in the batch.
+func (b *BatchState) Lanes() int { return b.k }
+
+// Dim returns the per-lane Hilbert-space dimension 2^n.
+func (b *BatchState) Dim() int { return 1 << uint(b.n) }
+
+// SeedLane overwrites lane `lane` with src's amplitudes (a scatter copy
+// into the amplitude-major layout). src must have the same qubit count.
+func (b *BatchState) SeedLane(lane int, src *State) {
+	if src.n != b.n {
+		panic("sim: SeedLane qubit count mismatch")
+	}
+	k := b.k
+	for idx, a := range src.amps {
+		b.amps[idx*k+lane] = a
+	}
+}
+
+// ExtractLane copies lane `lane` into dst (a gather out of the
+// amplitude-major layout). dst must have the same qubit count.
+func (b *BatchState) ExtractLane(lane int, dst *State) {
+	if dst.n != b.n {
+		panic("sim: ExtractLane qubit count mismatch")
+	}
+	k := b.k
+	for idx := range dst.amps {
+		dst.amps[idx] = b.amps[idx*k+lane]
+	}
+}
+
+// laneRangeCheck validates a half-open lane range.
+func (b *BatchState) laneRangeCheck(laneLo, laneHi int) {
+	if laneLo < 0 || laneHi > b.k || laneLo > laneHi {
+		panic(fmt.Sprintf("sim: batch lane range [%d,%d) outside %d lanes", laneLo, laneHi, b.k))
+	}
+}
+
+// ApplyDiagTermsBatch is the batched form of State.ApplyDiagTerms: one
+// pass over the amplitude index space applying the fused diagonal run to
+// lanes [laneLo, laneHi). Per lane and per amplitude the matching terms
+// multiply in term order, exactly as in the scalar kernel.
+func (b *BatchState) ApplyDiagTermsBatch(terms []circuit.DiagTerm, laneLo, laneHi int) {
+	b.laneRangeCheck(laneLo, laneHi)
+	if len(terms) == 0 || laneLo == laneHi {
+		return
+	}
+	if cap(b.diagActive) < len(terms) {
+		b.diagActive = make([]circuit.DiagTerm, 0, len(terms))
+	}
+	active := b.diagActive[:0]
+	const lowMask = 1<<diagBlockBits - 1
+	dim := b.Dim()
+	k := b.k
+	for blo := 0; blo < dim; blo += lowMask + 1 {
+		high := uint64(blo) &^ lowMask
+		active = active[:0]
+		for _, t := range terms {
+			if high&t.Sel&^lowMask == t.Val&^lowMask {
+				active = append(active, circuit.DiagTerm{
+					Sel: t.Sel & lowMask, Val: t.Val & lowMask, Phase: t.Phase,
+				})
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		bhi := blo + lowMask + 1
+		if bhi <= dim {
+			// Full aligned block: per active term, enumerate its in-block
+			// sub-lattice once and multiply the whole lane run per matched
+			// amplitude — the enumeration chain amortizes over the lanes.
+			if batchSIMD {
+				base := &b.amps[blo*k+laneLo]
+				for _, t := range active {
+					cnt := 1 << bits.OnesCount64(lowMask&^t.Sel)
+					avx2DiagBlockTerm(base, k, laneHi-laneLo, cnt, t.Sel, t.Val, real(t.Phase), imag(t.Phase))
+				}
+				continue
+			}
+			for _, t := range active {
+				cnt := 1 << bits.OnesCount64(lowMask&^t.Sel)
+				x := t.Val
+				p := t.Phase
+				for j := 0; j < cnt; j++ {
+					row := b.amps[(blo+int(x&lowMask))*k:]
+					for l := laneLo; l < laneHi; l++ {
+						row[l] *= p
+					}
+					x = ((x|t.Sel)+1)&^t.Sel | t.Val
+				}
+			}
+			continue
+		}
+		// Sub-block state (n < diagBlockBits): per-amplitude conditional
+		// fallback, same arithmetic as the scalar kernel's partial path.
+		for i := blo; i < dim; i++ {
+			li := uint64(i) & lowMask
+			row := b.amps[i*k : (i+1)*k]
+			for _, t := range active {
+				if li&t.Sel == t.Val {
+					for l := laneLo; l < laneHi; l++ {
+						row[l] *= t.Phase
+					}
+				}
+			}
+		}
+	}
+}
+
+// Apply1QBatch applies a 2x2 unitary to qubit q of lanes [laneLo, laneHi).
+func (b *BatchState) Apply1QBatch(q int, m00, m01, m10, m11 complex128, laneLo, laneHi int) {
+	b.laneRangeCheck(laneLo, laneHi)
+	k := b.k
+	step := 1 << uint(q)
+	dim := b.Dim()
+	if batchSIMD && laneHi > laneLo {
+		m := [4]complex128{m00, m01, m10, m11}
+		if laneLo == 0 && laneHi == k {
+			avx2Combine2x2(&b.amps[0], &b.amps[step*k], dim/(2*step), step*k, 2*step*k, &m)
+			return
+		}
+		for g := 0; g < dim; g += 2 * step {
+			avx2Combine2x2(&b.amps[g*k+laneLo], &b.amps[(g+step)*k+laneLo], step, laneHi-laneLo, k, &m)
+		}
+		return
+	}
+	for g := 0; g < dim; g += 2 * step {
+		for i := g; i < g+step; i++ {
+			r0 := b.amps[i*k:]
+			r1 := b.amps[(i+step)*k:]
+			for l := laneLo; l < laneHi; l++ {
+				a0, a1 := r0[l], r1[l]
+				r0[l] = m00*a0 + m01*a1
+				r1[l] = m10*a0 + m11*a1
+			}
+		}
+	}
+}
+
+// ApplyCtrl1QBatch applies a 2x2 unitary to qubit t on the all-controls-1
+// subspace of lanes [laneLo, laneHi), mirroring State.ApplyCtrl1Q's
+// carry-skip base enumeration.
+func (b *BatchState) ApplyCtrl1QBatch(controls []int, t int, m00, m01, m10, m11 complex128, laneLo, laneHi int) {
+	b.laneRangeCheck(laneLo, laneHi)
+	var cmask int
+	for _, c := range controls {
+		cmask |= 1 << uint(c)
+	}
+	tbit := 1 << uint(t)
+	mask := cmask | tbit
+	k := b.k
+	groups := b.Dim() >> uint(len(controls)+1)
+	base := 0
+	for g := 0; g < groups; g++ {
+		i0 := base | cmask
+		i1 := i0 | tbit
+		r0 := b.amps[i0*k:]
+		r1 := b.amps[i1*k:]
+		for l := laneLo; l < laneHi; l++ {
+			a0, a1 := r0[l], r1[l]
+			r0[l] = m00*a0 + m01*a1
+			r1[l] = m10*a0 + m11*a1
+		}
+		base = ((base | mask) + 1) &^ mask
+	}
+}
+
+// ApplyKQBatch applies a dense 2^k x 2^k unitary to the listed qubits of
+// lanes [laneLo, laneHi), with the same matrix layout and monomial fast
+// path as State.ApplyKQ.
+func (b *BatchState) ApplyKQBatch(qubits []int, m []complex128, laneLo, laneHi int) {
+	b.laneRangeCheck(laneLo, laneHi)
+	plan := buildKQPlan(qubits, m)
+	k := b.k
+	dim := plan.dim
+	groups := b.Dim() >> uint(len(qubits))
+	// base and pat[j] occupy disjoint bit sets, so (base|pat[j])*k =
+	// base*k + pat[j]*k; pre-scaling pat by k hoists a multiply out of
+	// the innermost loops.
+	var patK [maxDenseDim]int
+	for j := 0; j < dim; j++ {
+		patK[j] = plan.pat[j] * k
+	}
+	base := 0
+	if plan.mono {
+		var permPatK [maxDenseDim]int
+		for j := 0; j < dim; j++ {
+			permPatK[j] = plan.pat[plan.perm[j]] * k
+		}
+		var x [maxDenseDim]complex128
+		for g := 0; g < groups; g++ {
+			baseK := base * k
+			for l := laneLo; l < laneHi; l++ {
+				for j := 0; j < dim; j++ {
+					x[j] = b.amps[baseK+patK[j]+l]
+				}
+				for j := 0; j < dim; j++ {
+					b.amps[baseK+permPatK[j]+l] = plan.ph[j] * x[j]
+				}
+			}
+			base = ((base | plan.mask) + 1) &^ plan.mask
+		}
+		return
+	}
+	var x, y [maxDenseDim]complex128
+	for g := 0; g < groups; g++ {
+		baseK := base * k
+		for l := laneLo; l < laneHi; l++ {
+			for j := 0; j < dim; j++ {
+				x[j] = b.amps[baseK+patK[j]+l]
+			}
+			for i := 0; i < dim; i++ {
+				row := plan.m[i*dim : (i+1)*dim]
+				acc := row[0] * x[0]
+				for j := 1; j < dim; j++ {
+					acc += row[j] * x[j]
+				}
+				y[i] = acc
+			}
+			for j := 0; j < dim; j++ {
+				b.amps[baseK+patK[j]+l] = y[j]
+			}
+		}
+		base = ((base | plan.mask) + 1) &^ plan.mask
+	}
+}
+
+// PhaseBatch is the batched P-gate kernel (State.Phase).
+func (b *BatchState) PhaseBatch(q int, theta float64, laneLo, laneHi int) {
+	b.laneRangeCheck(laneLo, laneHi)
+	p := cmplx.Exp(complex(0, theta))
+	k := b.k
+	step := 1 << uint(q)
+	dim := b.Dim()
+	if batchSIMD && laneHi > laneLo {
+		if laneLo == 0 && laneHi == k {
+			avx2CMulRows(&b.amps[step*k], dim/(2*step), step*k, 2*step*k, real(p), imag(p))
+			return
+		}
+		for g := step; g < dim; g += 2 * step {
+			avx2CMulRows(&b.amps[g*k+laneLo], step, laneHi-laneLo, k, real(p), imag(p))
+		}
+		return
+	}
+	for g := step; g < dim; g += 2 * step {
+		for i := g; i < g+step; i++ {
+			row := b.amps[i*k : (i+1)*k]
+			for l := laneLo; l < laneHi; l++ {
+				row[l] *= p
+			}
+		}
+	}
+}
+
+// RZBatch is the batched exact-RZ kernel (State.RZ).
+func (b *BatchState) RZBatch(q int, theta float64, laneLo, laneHi int) {
+	b.laneRangeCheck(laneLo, laneHi)
+	p0 := cmplx.Exp(complex(0, -theta/2))
+	p1 := cmplx.Exp(complex(0, theta/2))
+	k := b.k
+	step := 1 << uint(q)
+	dim := b.Dim()
+	if batchSIMD && laneHi > laneLo {
+		// The two half-spaces are disjoint, so splitting the scalar
+		// kernel's interleaved loop into one pass per phase is bit-exact.
+		if laneLo == 0 && laneHi == k {
+			rows := dim / (2 * step)
+			avx2CMulRows(&b.amps[0], rows, step*k, 2*step*k, real(p0), imag(p0))
+			avx2CMulRows(&b.amps[step*k], rows, step*k, 2*step*k, real(p1), imag(p1))
+			return
+		}
+		for g := 0; g < dim; g += 2 * step {
+			avx2CMulRows(&b.amps[g*k+laneLo], step, laneHi-laneLo, k, real(p0), imag(p0))
+			avx2CMulRows(&b.amps[(g+step)*k+laneLo], step, laneHi-laneLo, k, real(p1), imag(p1))
+		}
+		return
+	}
+	for g := 0; g < dim; g += 2 * step {
+		for i := g; i < g+step; i++ {
+			r0 := b.amps[i*k:]
+			r1 := b.amps[(i+step)*k:]
+			for l := laneLo; l < laneHi; l++ {
+				r0[l] *= p0
+				r1[l] *= p1
+			}
+		}
+	}
+}
+
+// CPhaseBatch is the batched controlled-phase kernel (State.CPhase).
+func (b *BatchState) CPhaseBatch(c, t int, theta float64, laneLo, laneHi int) {
+	b.laneRangeCheck(laneLo, laneHi)
+	p := cmplx.Exp(complex(0, theta))
+	lo, hi := c, t
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	k := b.k
+	quarter := b.Dim() >> 2
+	mask := (1 << uint(lo)) | (1 << uint(hi))
+	for g := 0; g < quarter; g++ {
+		idx := insertZero(insertZero(g, lo), hi) | mask
+		row := b.amps[idx*k : (idx+1)*k]
+		for l := laneLo; l < laneHi; l++ {
+			row[l] *= p
+		}
+	}
+}
+
+// CCPhaseBatch is the batched doubly-controlled-phase kernel
+// (State.CCPhase).
+func (b *BatchState) CCPhaseBatch(c0, c1, t int, theta float64, laneLo, laneHi int) {
+	b.laneRangeCheck(laneLo, laneHi)
+	p := cmplx.Exp(complex(0, theta))
+	bs := [3]int{c0, c1, t}
+	sort3(&bs)
+	k := b.k
+	eighth := b.Dim() >> 3
+	mask := (1 << uint(bs[0])) | (1 << uint(bs[1])) | (1 << uint(bs[2]))
+	for g := 0; g < eighth; g++ {
+		idx := insertZero(insertZero(insertZero(g, bs[0]), bs[1]), bs[2]) | mask
+		row := b.amps[idx*k : (idx+1)*k]
+		for l := laneLo; l < laneHi; l++ {
+			row[l] *= p
+		}
+	}
+}
+
+// XBatch is the batched Pauli-X kernel (State.X).
+func (b *BatchState) XBatch(q int, laneLo, laneHi int) {
+	b.laneRangeCheck(laneLo, laneHi)
+	k := b.k
+	step := 1 << uint(q)
+	dim := b.Dim()
+	for g := 0; g < dim; g += 2 * step {
+		for i := g; i < g+step; i++ {
+			r0 := b.amps[i*k:]
+			r1 := b.amps[(i+step)*k:]
+			for l := laneLo; l < laneHi; l++ {
+				r0[l], r1[l] = r1[l], r0[l]
+			}
+		}
+	}
+}
+
+// YBatch is the batched Pauli-Y kernel (State.Y).
+func (b *BatchState) YBatch(q int, laneLo, laneHi int) {
+	b.laneRangeCheck(laneLo, laneHi)
+	k := b.k
+	step := 1 << uint(q)
+	dim := b.Dim()
+	for g := 0; g < dim; g += 2 * step {
+		for i := g; i < g+step; i++ {
+			r0 := b.amps[i*k:]
+			r1 := b.amps[(i+step)*k:]
+			for l := laneLo; l < laneHi; l++ {
+				a0, a1 := r0[l], r1[l]
+				r0[l] = complex(imag(a1), -real(a1))
+				r1[l] = complex(-imag(a0), real(a0))
+			}
+		}
+	}
+}
+
+// ZBatch is the batched Pauli-Z kernel (State.Z).
+func (b *BatchState) ZBatch(q int, laneLo, laneHi int) {
+	b.laneRangeCheck(laneLo, laneHi)
+	k := b.k
+	step := 1 << uint(q)
+	dim := b.Dim()
+	for g := step; g < dim; g += 2 * step {
+		for i := g; i < g+step; i++ {
+			row := b.amps[i*k : (i+1)*k]
+			for l := laneLo; l < laneHi; l++ {
+				row[l] = -row[l]
+			}
+		}
+	}
+}
+
+// HBatch is the batched Hadamard kernel (State.H).
+func (b *BatchState) HBatch(q int, laneLo, laneHi int) {
+	b.laneRangeCheck(laneLo, laneHi)
+	const inv = 1 / math.Sqrt2
+	k := b.k
+	step := 1 << uint(q)
+	dim := b.Dim()
+	if batchSIMD && laneHi > laneLo {
+		if laneLo == 0 && laneHi == k {
+			avx2HSpans(&b.amps[0], &b.amps[step*k], dim/(2*step), step*k, 2*step*k, inv)
+			return
+		}
+		for g := 0; g < dim; g += 2 * step {
+			avx2HSpans(&b.amps[g*k+laneLo], &b.amps[(g+step)*k+laneLo], step, laneHi-laneLo, k, inv)
+		}
+		return
+	}
+	for g := 0; g < dim; g += 2 * step {
+		for i := g; i < g+step; i++ {
+			r0 := b.amps[i*k:]
+			r1 := b.amps[(i+step)*k:]
+			for l := laneLo; l < laneHi; l++ {
+				a0, a1 := r0[l], r1[l]
+				r0[l] = complex(inv, 0) * (a0 + a1)
+				r1[l] = complex(inv, 0) * (a0 - a1)
+			}
+		}
+	}
+}
+
+// CXBatch is the batched controlled-NOT kernel (State.CX).
+func (b *BatchState) CXBatch(c, t int, laneLo, laneHi int) {
+	b.laneRangeCheck(laneLo, laneHi)
+	lo, hi := c, t
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	cbit := 1 << uint(c)
+	tbit := 1 << uint(t)
+	k := b.k
+	quarter := b.Dim() >> 2
+	for g := 0; g < quarter; g++ {
+		i0 := insertZero(insertZero(g, lo), hi) | cbit
+		i1 := i0 | tbit
+		r0 := b.amps[i0*k:]
+		r1 := b.amps[i1*k:]
+		for l := laneLo; l < laneHi; l++ {
+			r0[l], r1[l] = r1[l], r0[l]
+		}
+	}
+}
+
+// SwapBatch is the batched qubit-swap kernel (State.Swap).
+func (b *BatchState) SwapBatch(qa, qb int, laneLo, laneHi int) {
+	b.laneRangeCheck(laneLo, laneHi)
+	lo, hi := qa, qb
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	lob, hib := 1<<uint(lo), 1<<uint(hi)
+	k := b.k
+	quarter := b.Dim() >> 2
+	for g := 0; g < quarter; g++ {
+		base := insertZero(insertZero(g, lo), hi)
+		i01 := base | lob
+		i10 := base | hib
+		r0 := b.amps[i01*k:]
+		r1 := b.amps[i10*k:]
+		for l := laneLo; l < laneHi; l++ {
+			r0[l], r1[l] = r1[l], r0[l]
+		}
+	}
+}
+
+// ApplyOpBatch applies one circuit op to lanes [laneLo, laneHi),
+// dispatching exactly as State.ApplyOp does so the per-lane arithmetic
+// (including the computed phase constants) is bit-identical.
+func (b *BatchState) ApplyOpBatch(op circuit.Op, laneLo, laneHi int) {
+	q := op.Qubits
+	switch op.Kind {
+	case gate.I:
+		// no-op
+	case gate.P:
+		b.PhaseBatch(q[0], op.Theta, laneLo, laneHi)
+	case gate.RZ:
+		b.RZBatch(q[0], op.Theta, laneLo, laneHi)
+	case gate.Z:
+		b.ZBatch(q[0], laneLo, laneHi)
+	case gate.S:
+		b.PhaseBatch(q[0], math.Pi/2, laneLo, laneHi)
+	case gate.Sdg:
+		b.PhaseBatch(q[0], -math.Pi/2, laneLo, laneHi)
+	case gate.T:
+		b.PhaseBatch(q[0], math.Pi/4, laneLo, laneHi)
+	case gate.Tdg:
+		b.PhaseBatch(q[0], -math.Pi/4, laneLo, laneHi)
+	case gate.X:
+		b.XBatch(q[0], laneLo, laneHi)
+	case gate.Y:
+		b.YBatch(q[0], laneLo, laneHi)
+	case gate.H:
+		b.HBatch(q[0], laneLo, laneHi)
+	case gate.CX:
+		b.CXBatch(q[0], q[1], laneLo, laneHi)
+	case gate.CZ:
+		b.CPhaseBatch(q[0], q[1], math.Pi, laneLo, laneHi)
+	case gate.CP:
+		b.CPhaseBatch(q[0], q[1], op.Theta, laneLo, laneHi)
+	case gate.CCP:
+		b.CCPhaseBatch(q[0], q[1], q[2], op.Theta, laneLo, laneHi)
+	case gate.SWAP:
+		b.SwapBatch(q[0], q[1], laneLo, laneHi)
+	case gate.CH:
+		s2 := complex(1/math.Sqrt2, 0)
+		ctrl := [1]int{q[0]}
+		b.ApplyCtrl1QBatch(ctrl[:], q[1], s2, s2, s2, -s2, laneLo, laneHi)
+	case gate.CCX:
+		ctrl := [2]int{q[0], q[1]}
+		b.ApplyCtrl1QBatch(ctrl[:], q[2], 0, 1, 1, 0, laneLo, laneHi)
+	default:
+		b.applyGenericBatch(op, laneLo, laneHi)
+	}
+}
+
+// applyGenericBatch mirrors State.applyGeneric for the batched dispatch.
+func (b *BatchState) applyGenericBatch(op circuit.Op, laneLo, laneHi int) {
+	k := op.Kind
+	nc := k.Controls()
+	switch {
+	case k.Arity() == 1:
+		m := gate.Base(k, op.Theta)
+		b.Apply1QBatch(op.Qubits[0], m.At(0, 0), m.At(0, 1), m.At(1, 0), m.At(1, 1), laneLo, laneHi)
+	case nc >= 1 && k.Arity() == nc+1:
+		m := gate.Base(k, op.Theta)
+		ctrls := make([]int, nc)
+		copy(ctrls, op.Qubits[:nc])
+		b.ApplyCtrl1QBatch(ctrls, op.Qubits[nc], m.At(0, 0), m.At(0, 1), m.At(1, 0), m.At(1, 1), laneLo, laneHi)
+	default:
+		panic(fmt.Sprintf("sim: no kernel for %s", k))
+	}
+}
+
+// RegisterProbsIntoLanes computes the marginal distribution of the
+// given qubits for lanes [0, lanes) in a single pass over the batch,
+// writing lane l's distribution into out[l*2^w : (l+1)*2^w]. Per lane
+// the accumulation order is identical to RegisterProbsIntoLane (and so
+// to State.RegisterProbsInto on the extracted lane), so the results are
+// bit-identical; the single pass just shares the per-amplitude index
+// computation across lanes and streams the buffer once.
+func (b *BatchState) RegisterProbsIntoLanes(out []float64, qubits []int, lanes int) {
+	w := len(qubits)
+	m := 1 << uint(w)
+	if lanes < 0 || lanes > b.k {
+		panic("sim: RegisterProbsIntoLanes lane count out of range")
+	}
+	if len(out) != lanes*m {
+		panic("sim: RegisterProbsIntoLanes output buffer size mismatch")
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	k := b.k
+	dim := b.Dim()
+	contig := true
+	for i, q := range qubits {
+		if q != qubits[0]+i {
+			contig = false
+			break
+		}
+	}
+	if contig {
+		lo := uint(qubits[0])
+		mask := m - 1
+		for idx := 0; idx < dim; idx++ {
+			v := (idx >> lo) & mask
+			row := b.amps[idx*k : idx*k+lanes]
+			for l, a := range row {
+				out[l*m+v] += real(a)*real(a) + imag(a)*imag(a)
+			}
+		}
+		return
+	}
+	var shiftBuf [MaxQubits]uint
+	shifts := shiftBuf[:w]
+	for i, q := range qubits {
+		shifts[i] = uint(q)
+	}
+	for idx := 0; idx < dim; idx++ {
+		v := 0
+		for i, sh := range shifts {
+			v |= ((idx >> sh) & 1) << uint(i)
+		}
+		row := b.amps[idx*k : idx*k+lanes]
+		for l, a := range row {
+			p := real(a)*real(a) + imag(a)*imag(a)
+			if p == 0 {
+				continue
+			}
+			out[l*m+v] += p
+		}
+	}
+}
+
+// RegisterProbsIntoLane writes the marginal distribution of the given
+// qubits for one lane into out, accumulating over amplitudes in exactly
+// the order State.RegisterProbsInto does, so a lane's marginal is
+// bit-for-bit the marginal of the extracted lane.
+func (b *BatchState) RegisterProbsIntoLane(out []float64, qubits []int, lane int) {
+	w := len(qubits)
+	if len(out) != 1<<uint(w) {
+		panic("sim: RegisterProbsIntoLane output buffer size mismatch")
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	k := b.k
+	dim := b.Dim()
+	contig := true
+	for i, q := range qubits {
+		if q != qubits[0]+i {
+			contig = false
+			break
+		}
+	}
+	if contig {
+		lo := uint(qubits[0])
+		mask := (1 << uint(w)) - 1
+		for idx := 0; idx < dim; idx++ {
+			a := b.amps[idx*k+lane]
+			p := real(a)*real(a) + imag(a)*imag(a)
+			out[(idx>>lo)&mask] += p
+		}
+		return
+	}
+	var shiftBuf [MaxQubits]uint
+	shifts := shiftBuf[:w]
+	for i, q := range qubits {
+		shifts[i] = uint(q)
+	}
+	for idx := 0; idx < dim; idx++ {
+		a := b.amps[idx*k+lane]
+		p := real(a)*real(a) + imag(a)*imag(a)
+		if p == 0 {
+			continue
+		}
+		v := 0
+		for i, sh := range shifts {
+			v |= ((idx >> sh) & 1) << uint(i)
+		}
+		out[v] += p
+	}
+}

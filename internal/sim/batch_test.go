@@ -1,0 +1,298 @@
+package sim_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"qfarith/internal/circuit"
+	"qfarith/internal/gate"
+	"qfarith/internal/sim"
+	"qfarith/internal/testutil"
+)
+
+// randomLanes returns K independent random n-qubit states and a batch
+// seeded with them lane by lane.
+func randomLanes(rng *rand.Rand, n, k int) ([]*sim.State, *sim.BatchState) {
+	states := make([]*sim.State, k)
+	batch := sim.NewBatchState(n, k)
+	for l := 0; l < k; l++ {
+		states[l] = testutil.RandomState(rng, n)
+		batch.SeedLane(l, states[l])
+	}
+	return states, batch
+}
+
+// requireLaneBitIdentical fails unless every lane of batch is bit-for-bit
+// the corresponding scalar state.
+func requireLaneBitIdentical(t *testing.T, label string, states []*sim.State, batch *sim.BatchState) {
+	t.Helper()
+	dst := sim.NewState(batch.NumQubits())
+	for l := range states {
+		batch.ExtractLane(l, dst)
+		want := states[l].Amps()
+		got := dst.Amps()
+		for i := range want {
+			if math.Float64bits(real(want[i])) != math.Float64bits(real(got[i])) ||
+				math.Float64bits(imag(want[i])) != math.Float64bits(imag(got[i])) {
+				t.Fatalf("%s: lane %d amp %d: batch %v != scalar %v", label, l, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func randC(rng *rand.Rand) complex128 {
+	return complex(rng.NormFloat64(), rng.NormFloat64())
+}
+
+// TestBatchOpKernelsBitIdentical drives every ApplyOpBatch dispatch arm
+// on a partial lane range and checks each in-range lane is bit-identical
+// to the scalar kernel while out-of-range lanes are untouched.
+func TestBatchOpKernelsBitIdentical(t *testing.T) {
+	rng := testutil.NewRand(101)
+	const n, k = 5, 5
+	ops := []circuit.Op{
+		circuit.NewOp(gate.I, 0, 0),
+		circuit.NewOp(gate.P, 0.37, 1),
+		circuit.NewOp(gate.RZ, -1.21, 2),
+		circuit.NewOp(gate.Z, 0, 3),
+		circuit.NewOp(gate.S, 0, 4),
+		circuit.NewOp(gate.Sdg, 0, 0),
+		circuit.NewOp(gate.T, 0, 1),
+		circuit.NewOp(gate.Tdg, 0, 2),
+		circuit.NewOp(gate.X, 0, 3),
+		circuit.NewOp(gate.Y, 0, 4),
+		circuit.NewOp(gate.H, 0, 0),
+		circuit.NewOp(gate.CX, 0, 3, 1),
+		circuit.NewOp(gate.CZ, 0, 0, 4),
+		circuit.NewOp(gate.CP, 0.9, 2, 0),
+		circuit.NewOp(gate.CCP, -0.44, 4, 1, 2),
+		circuit.NewOp(gate.SWAP, 0, 1, 3),
+		circuit.NewOp(gate.CH, 0, 2, 4),
+		circuit.NewOp(gate.CCX, 0, 0, 1, 3),
+		circuit.NewOp(gate.SX, 0, 2),        // generic 1q arm
+		circuit.NewOp(gate.CRY, 0.61, 3, 0), // generic controlled arm
+	}
+	for _, op := range ops {
+		states, batch := randomLanes(rng, n, k)
+		laneLo, laneHi := 1, 4
+		batch.ApplyOpBatch(op, laneLo, laneHi)
+		for l := laneLo; l < laneHi; l++ {
+			states[l].ApplyOp(op)
+		}
+		requireLaneBitIdentical(t, op.Kind.String(), states, batch)
+	}
+}
+
+// TestBatchDiagTermsBitIdentical checks ApplyDiagTermsBatch against the
+// scalar fused-diagonal kernel for random term runs, on a register big
+// enough to exercise full 256-amplitude blocks (n=9) and one small
+// enough to hit the sub-block fallback (n=4).
+func TestBatchDiagTermsBitIdentical(t *testing.T) {
+	rng := testutil.NewRand(202)
+	for _, n := range []int{4, 9} {
+		const k = 4
+		for trial := 0; trial < 10; trial++ {
+			nTerms := 1 + rng.IntN(12)
+			terms := make([]circuit.DiagTerm, nTerms)
+			for i := range terms {
+				sel := uint64(rng.IntN(1<<uint(n)-1) + 1)
+				terms[i] = circuit.DiagTerm{
+					Sel:   sel,
+					Val:   uint64(rng.IntN(1<<uint(n))) & sel,
+					Phase: randC(rng),
+					Src:   i,
+				}
+			}
+			states, batch := randomLanes(rng, n, k)
+			batch.ApplyDiagTermsBatch(terms, 0, k)
+			for l := 0; l < k; l++ {
+				states[l].ApplyDiagTerms(terms)
+			}
+			requireLaneBitIdentical(t, "diag", states, batch)
+		}
+	}
+}
+
+// TestBatchDenseKernelsBitIdentical checks the remaining batched kernels
+// with matrix arguments — Apply1QBatch, ApplyCtrl1QBatch, ApplyKQBatch
+// (monomial and dense) — against their scalar counterparts.
+func TestBatchDenseKernelsBitIdentical(t *testing.T) {
+	rng := testutil.NewRand(303)
+	const n, k = 6, 3
+
+	t.Run("apply1q", func(t *testing.T) {
+		states, batch := randomLanes(rng, n, k)
+		m00, m01, m10, m11 := randC(rng), randC(rng), randC(rng), randC(rng)
+		batch.Apply1QBatch(3, m00, m01, m10, m11, 0, k)
+		for l := 0; l < k; l++ {
+			states[l].Apply1Q(3, m00, m01, m10, m11)
+		}
+		requireLaneBitIdentical(t, "apply1q", states, batch)
+	})
+
+	t.Run("ctrl1q", func(t *testing.T) {
+		for _, ctrls := range [][]int{{2}, {5, 1}} {
+			states, batch := randomLanes(rng, n, k)
+			m00, m01, m10, m11 := randC(rng), randC(rng), randC(rng), randC(rng)
+			batch.ApplyCtrl1QBatch(ctrls, 4, m00, m01, m10, m11, 0, k)
+			for l := 0; l < k; l++ {
+				states[l].ApplyCtrl1Q(ctrls, 4, m00, m01, m10, m11)
+			}
+			requireLaneBitIdentical(t, "ctrl1q", states, batch)
+		}
+	})
+
+	t.Run("kq-dense", func(t *testing.T) {
+		qubits := []int{1, 4, 2}
+		dim := 1 << len(qubits)
+		m := make([]complex128, dim*dim)
+		for i := range m {
+			m[i] = randC(rng)
+		}
+		states, batch := randomLanes(rng, n, k)
+		batch.ApplyKQBatch(qubits, m, 0, k)
+		for l := 0; l < k; l++ {
+			states[l].ApplyKQ(qubits, m)
+		}
+		requireLaneBitIdentical(t, "kq-dense", states, batch)
+	})
+
+	t.Run("kq-monomial", func(t *testing.T) {
+		qubits := []int{5, 0}
+		dim := 1 << len(qubits)
+		perm := rng.Perm(dim)
+		m := make([]complex128, dim*dim)
+		for j := 0; j < dim; j++ {
+			m[perm[j]*dim+j] = randC(rng)
+		}
+		states, batch := randomLanes(rng, n, k)
+		batch.ApplyKQBatch(qubits, m, 0, k)
+		for l := 0; l < k; l++ {
+			states[l].ApplyKQ(qubits, m)
+		}
+		requireLaneBitIdentical(t, "kq-monomial", states, batch)
+	})
+}
+
+// TestBatchRegisterProbsBitIdentical checks that a lane's marginal is
+// bit-for-bit the scalar marginal of the extracted lane, on both the
+// contiguous-register fast path and the scattered path.
+func TestBatchRegisterProbsBitIdentical(t *testing.T) {
+	rng := testutil.NewRand(404)
+	const n, k = 6, 4
+	states, batch := randomLanes(rng, n, k)
+	for _, qubits := range [][]int{{1, 2, 3}, {4, 0, 2}} {
+		want := make([]float64, 1<<len(qubits))
+		got := make([]float64, 1<<len(qubits))
+		for l := 0; l < k; l++ {
+			states[l].RegisterProbsInto(want, qubits)
+			batch.RegisterProbsIntoLane(got, qubits, l)
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("qubits %v lane %d outcome %d: batch %v != scalar %v",
+						qubits, l, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestScratchBatchPool exercises reuse, lane-count growth, and shrink on
+// the batch scratch pool.
+func TestScratchBatchPool(t *testing.T) {
+	b := sim.GetScratchBatch(5, 4)
+	if b.NumQubits() != 5 || b.Lanes() != 4 {
+		t.Fatalf("got %d qubits x %d lanes", b.NumQubits(), b.Lanes())
+	}
+	sim.PutScratchBatch(b)
+	// A wider request must still come back usable.
+	b2 := sim.GetScratchBatch(5, 9)
+	if b2.Lanes() != 9 {
+		t.Fatalf("lanes = %d, want 9", b2.Lanes())
+	}
+	src := sim.NewState(5)
+	for l := 0; l < 9; l++ {
+		b2.SeedLane(l, src)
+	}
+	dst := sim.NewState(5)
+	b2.ExtractLane(8, dst)
+	if dst.Amps()[0] != 1 {
+		t.Fatalf("lane 8 not seeded: %v", dst.Amps()[0])
+	}
+	sim.PutScratchBatch(b2)
+	// And a narrower one reslices rather than reallocating.
+	b3 := sim.GetScratchBatch(5, 2)
+	if b3.Lanes() != 2 {
+		t.Fatalf("lanes = %d, want 2", b3.Lanes())
+	}
+	sim.PutScratchBatch(b3)
+}
+
+// BenchmarkBatchLayout is the layout microbenchmark behind BatchState's
+// amplitude-major choice: the same fused diagonal run (a CP-ladder-like
+// term list) and the same fused 1q gate applied to K=8 15-qubit lanes,
+// once through the amplitude-major batched kernels and once lane-major
+// (K contiguous statevectors through the scalar kernels, which is
+// exactly what the K-major layout executes). Amplitude-major amortizes
+// the per-amplitude index enumeration across the contiguous lane run;
+// lane-major repeats it per lane.
+func BenchmarkBatchLayout(b *testing.B) {
+	const n, k = 15, 8
+	rng := testutil.NewRand(77)
+	terms := make([]circuit.DiagTerm, 24)
+	for i := range terms {
+		a := rng.IntN(n)
+		c := (a + 1 + rng.IntN(n-1)) % n
+		sel := uint64(1)<<a | uint64(1)<<c
+		terms[i] = circuit.DiagTerm{Sel: sel, Val: sel, Phase: randC(rng), Src: i}
+	}
+	lanes := make([]*sim.State, k)
+	for l := range lanes {
+		lanes[l] = testutil.RandomState(rng, n)
+	}
+	batch := sim.NewBatchState(n, k)
+	for l := range lanes {
+		batch.SeedLane(l, lanes[l])
+	}
+	m00, m01, m10, m11 := randC(rng), randC(rng), randC(rng), randC(rng)
+
+	b.Run("diag-amp-major", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batch.ApplyDiagTermsBatch(terms, 0, k)
+		}
+	})
+	b.Run("diag-lane-major", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for l := 0; l < k; l++ {
+				lanes[l].ApplyDiagTerms(terms)
+			}
+		}
+	})
+	b.Run("1q-amp-major", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batch.Apply1QBatch(7, m00, m01, m10, m11, 0, k)
+		}
+	})
+	b.Run("1q-lane-major", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for l := 0; l < k; l++ {
+				lanes[l].Apply1Q(7, m00, m01, m10, m11)
+			}
+		}
+	})
+}
+
+// TestBatchKernelsSIMDOffBitIdentical re-runs the kernel bit-identity
+// suites with the SIMD fast paths forced off, pinning the portable Go
+// fallback on hardware where the default run exercises the assembly.
+func TestBatchKernelsSIMDOffBitIdentical(t *testing.T) {
+	if !sim.BatchSIMDEnabled() {
+		t.Skip("SIMD unavailable; default run already covers the portable kernels")
+	}
+	prev := sim.SetBatchSIMD(false)
+	defer sim.SetBatchSIMD(prev)
+	t.Run("ops", TestBatchOpKernelsBitIdentical)
+	t.Run("diag", TestBatchDiagTermsBitIdentical)
+	t.Run("dense", TestBatchDenseKernelsBitIdentical)
+}

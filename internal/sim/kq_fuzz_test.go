@@ -1,0 +1,139 @@
+package sim_test
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+
+	"qfarith/internal/sim"
+	"qfarith/internal/testutil"
+)
+
+// applyKQDenseRef is an independent dense reference for ApplyKQ: the
+// straightforward gather / matrix-vector / scatter loop, written without
+// any monomial special-casing. The accumulation order (row term 0 first,
+// then 1, 2, ...) matches the kernel's dense path, so for a monomial
+// matrix — where every row term but one is an exact zero — the fast
+// path's gather-permute-scale must agree with this to the last bit
+// (complex equality; Go's == treats -0 and +0 as equal).
+func applyKQDenseRef(amps []complex128, qubits []int, m []complex128) {
+	k := len(qubits)
+	dim := 1 << uint(k)
+	mask := 0
+	var pat [8]int
+	for i, q := range qubits {
+		mask |= 1 << uint(q)
+		for j := 0; j < dim; j++ {
+			if j>>uint(i)&1 == 1 {
+				pat[j] |= 1 << uint(q)
+			}
+		}
+	}
+	var x, y [8]complex128
+	base := 0
+	for gi := 0; gi < len(amps)>>uint(k); gi++ {
+		for j := 0; j < dim; j++ {
+			x[j] = amps[base|pat[j]]
+		}
+		for i := 0; i < dim; i++ {
+			acc := m[i*dim] * x[0]
+			for j := 1; j < dim; j++ {
+				acc += m[i*dim+j] * x[j]
+			}
+			y[i] = acc
+		}
+		for j := 0; j < dim; j++ {
+			amps[base|pat[j]] = y[j]
+		}
+		base = ((base | mask) + 1) &^ mask
+	}
+}
+
+// randKQCase derives a random ApplyKQ case from rng: a qubit tuple of
+// size k ≤ 3 in random order over an n-qubit register, and a random
+// k-qubit operator — monomial (random permutation with random unit
+// phases, triggering the gather-permute-scale fast path) when mono,
+// dense (a Hadamard-mixed monomial with no zero entries, forcing the
+// general path) otherwise.
+func randKQCase(rng *rand.Rand, n int, mono bool) (qubits []int, m []complex128) {
+	k := 1 + rng.IntN(sim.MaxDenseQubits)
+	qubits = rng.Perm(n)[:k]
+	dim := 1 << uint(k)
+	m = make([]complex128, dim*dim)
+	perm := rng.Perm(dim)
+	for j := 0; j < dim; j++ {
+		m[perm[j]*dim+j] = cmplx.Rect(1, 2*math.Pi*rng.Float64())
+	}
+	if mono {
+		return qubits, m
+	}
+	// Left-multiply by H⊗...⊗H: still unitary, every entry nonzero, so
+	// buildKQPlan cannot classify it as monomial.
+	h := complex(1/math.Sqrt2, 0)
+	for j := 0; j < dim; j++ {
+		col := make([]complex128, dim)
+		for i := 0; i < dim; i++ {
+			col[i] = m[i*dim+j]
+		}
+		for b := 0; b < k; b++ {
+			for i := 0; i < dim; i++ {
+				if i>>uint(b)&1 == 0 {
+					lo, hi := col[i], col[i|1<<uint(b)]
+					col[i], col[i|1<<uint(b)] = h*(lo+hi), h*(lo-hi)
+				}
+			}
+		}
+		for i := 0; i < dim; i++ {
+			m[i*dim+j] = col[i]
+		}
+	}
+	return qubits, m
+}
+
+func checkApplyKQ(t *testing.T, rng *rand.Rand, n int, mono bool) {
+	t.Helper()
+	qubits, m := randKQCase(rng, n, mono)
+	st := testutil.RandomState(rng, n)
+	want := append([]complex128(nil), st.Amps()...)
+	applyKQDenseRef(want, qubits, m)
+	st.ApplyKQ(qubits, m)
+	for i, got := range st.Amps() {
+		if mono {
+			if got != want[i] {
+				t.Fatalf("qubits %v mono: amp[%d] = %v, dense reference %v", qubits, i, got, want[i])
+			}
+			continue
+		}
+		if d := cmplx.Abs(got - want[i]); d > 1e-12 {
+			t.Fatalf("qubits %v dense: amp[%d] = %v, reference %v (diff %g)", qubits, i, got, want[i], d)
+		}
+	}
+}
+
+// TestApplyKQMonomialVsDenseProperty drives the property over many
+// random cases in a plain `go test` run: the monomial fast path is
+// bit-identical to the dense arithmetic, and the dense path matches an
+// independent reference.
+func TestApplyKQMonomialVsDenseProperty(t *testing.T) {
+	rng := testutil.NewRand(99)
+	for i := 0; i < 300; i++ {
+		checkApplyKQ(t, rng, 6, true)
+		checkApplyKQ(t, rng, 6, false)
+	}
+}
+
+// FuzzApplyKQ lets the fuzzer hunt for operator/qubit-tuple/state
+// combinations where the monomial fast path and the dense path
+// disagree. The seed corpus runs as part of `go test ./...`.
+func FuzzApplyKQ(f *testing.F) {
+	f.Add(uint64(1), false)
+	f.Add(uint64(2), true)
+	f.Add(uint64(0xdeadbeef), false)
+	f.Add(uint64(0xdeadbeef), true)
+	f.Add(uint64(1<<63), true)
+	f.Fuzz(func(t *testing.T, seed uint64, mono bool) {
+		rng := testutil.NewRand(seed)
+		checkApplyKQ(t, rng, 5, mono)
+	})
+}

@@ -1,0 +1,34 @@
+package sim
+
+// l2BatchBudget is the share of the per-core L2 cache the batched
+// trajectory engine aims to keep its SoA working set inside, in bytes.
+// The batched kernels are bit-exact at any width, so this is purely a
+// performance policy: once the batch spills to L3 the per-segment
+// streaming turns memory-bound and the SIMD lanes run idle, which the
+// qfa-d3 sweep in results/bench_batched_engine.md shows costs more than
+// the batching saves. 1 MiB leaves room in a 2 MiB L2 for the shared
+// error-free prefix state plus pooled scratch.
+const l2BatchBudget = 1 << 20
+
+// maxBatchLanes caps the automatic batch width. Beyond this the lane
+// scatter on seeding outweighs the remaining SIMD gain even when the
+// working set fits cache.
+const maxBatchLanes = 8
+
+// DefaultBatchLanes returns the automatic batch width for an n-qubit
+// batched trajectory run: the widest lane count whose statevectors fit
+// the L2 budget, clamped to [1, 8]. A result of 1 means "don't batch" —
+// the scalar engine's single L2-resident statevector is faster than a
+// spilling batch (measured on the qfa-d3 panel; see
+// results/bench_batched_engine.md).
+func DefaultBatchLanes(n int) int {
+	laneBytes := 16 << uint(n) // complex128 amplitudes
+	lanes := l2BatchBudget / laneBytes
+	if lanes < 1 {
+		return 1
+	}
+	if lanes > maxBatchLanes {
+		return maxBatchLanes
+	}
+	return lanes
+}

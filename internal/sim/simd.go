@@ -1,0 +1,32 @@
+package sim
+
+// SIMD acceleration of the batched kernels.
+//
+// The amplitude-major BatchState layout makes the K copies of any
+// amplitude a contiguous run of complex128s, so the hot batched inner
+// loops (diagonal-term multiply, fused-1q combine, Hadamard butterfly)
+// vectorize cleanly: one broadcast constant, packed loads, packed
+// multiplies. The assembly kernels use only VMULPD/VADDPD/VSUBPD/
+// VADDSUBPD — elementwise IEEE-754 operations that are bit-identical to
+// the scalar MULSD/ADDSD/SUBSD sequences the Go compiler emits (gc does
+// not fuse multiply-add on amd64), arranged in the same per-amplitude
+// order as the portable kernels. The bit-exactness tests in
+// batch_test.go therefore cover the SIMD paths directly, and
+// TestBatchKernelsSIMDOffBitIdentical pins the portable fallback.
+//
+// batchSIMD gates every assembly call; it is true only when the CPU
+// reports AVX2 with OS AVX state support (or always false off amd64).
+
+// BatchSIMDEnabled reports whether the batched kernels are currently
+// using the SIMD fast paths.
+func BatchSIMDEnabled() bool { return batchSIMD }
+
+// SetBatchSIMD enables or disables the batched SIMD fast paths and
+// returns the previous setting. Enabling is a no-op on hardware without
+// AVX2 support. Intended for tests and benchmarks; not safe to call
+// concurrently with running kernels.
+func SetBatchSIMD(on bool) bool {
+	prev := batchSIMD
+	batchSIMD = on && simdAvailable
+	return prev
+}

@@ -1,0 +1,60 @@
+//go:build amd64
+
+package sim
+
+// cpuidex executes CPUID with the given leaf and subleaf.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the OS-enabled extended state mask.
+func xgetbv0() (eax, edx uint32)
+
+// avx2CMulRows multiplies `rows` rows of `rowLen` complex amplitudes,
+// `stride` complexes apart, by the constant (cr, ci) — each element
+// exactly as the scalar `a *= p` (re = ar*cr - ai*ci, im = ai*cr + ar*ci).
+//
+//go:noescape
+func avx2CMulRows(ptr *complex128, rows, rowLen, stride int, cr, ci float64)
+
+// avx2DiagBlockTerm applies one diagonal term to a full 256-amplitude
+// block: it enumerates the term's in-block sub-lattice (x = val; x =
+// ((x|sel)+1) &^ sel | val, cnt points) and multiplies each matched
+// row of `lanes` complexes by (cr, ci). base points at the first lane
+// of block amplitude 0; rows are `stride` complexes apart.
+//
+//go:noescape
+func avx2DiagBlockTerm(base *complex128, stride, lanes, cnt int, sel, val uint64, cr, ci float64)
+
+// avx2Combine2x2 applies the 2x2 unitary m = [m00 m01; m10 m11] to
+// `rows` row pairs of `rowLen` complexes: a' = m00*a + m01*b,
+// b' = m10*a + m11*b, with the scalar product-then-sum order.
+//
+//go:noescape
+func avx2Combine2x2(a, b *complex128, rows, rowLen, stride int, m *[4]complex128)
+
+// avx2HSpans applies the Hadamard butterfly to `rows` row pairs:
+// a' = complex(inv,0)*(a+b), b' = complex(inv,0)*(a-b), preserving the
+// scalar kernel's full complex multiply (including the 0*x sign terms).
+//
+//go:noescape
+func avx2HSpans(a, b *complex128, rows, rowLen, stride int, inv float64)
+
+// simdAvailable reports AVX2 plus OS support for YMM state.
+var simdAvailable = func() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	if lo, _ := xgetbv0(); lo&6 != 6 { // XMM and YMM state enabled
+		return false
+	}
+	_, b7, _, _ := cpuidex(7, 0)
+	return b7&(1<<5) != 0 // AVX2
+}()
+
+var batchSIMD = simdAvailable

@@ -1,0 +1,285 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2 kernels for the amplitude-major BatchState layout. Every complex
+// multiply below performs exactly the IEEE-754 operations of the scalar
+// Go expression it replaces, in the same order:
+//
+//   a *= (cr, ci)  =>  re' = ar*cr - ai*ci, im' = ai*cr + ar*ci
+//
+// computed as t1 = (ar*cr, ai*cr) [VMULPD by broadcast cr], t2 =
+// (ai*ci, ar*ci) [swap re/im within each complex via VPERMILPD, VMULPD
+// by broadcast ci], result = VADDSUBPD(t1, t2) = (t1.even - t2.even,
+// t1.odd + t2.odd). The two products per component are the same values
+// the scalar code multiplies (IEEE multiply and add are commutative in
+// the bitwise sense for finite inputs), and VADDSUBPD's even-subtract /
+// odd-add matches the scalar subtract-for-re / add-for-im. No FMA is
+// used anywhere, matching gc's scalar code generation on amd64.
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func avx2CMulRows(ptr *complex128, rows, rowLen, stride int, cr, ci float64)
+TEXT ·avx2CMulRows(SB), NOSPLIT, $0-48
+	MOVQ ptr+0(FP), DI
+	MOVQ rows+8(FP), CX
+	MOVQ rowLen+16(FP), DX
+	MOVQ stride+24(FP), SI
+	SHLQ $4, SI                  // stride in bytes (16 B per complex128)
+	VBROADCASTSD cr+32(FP), Y14
+	VBROADCASTSD ci+40(FP), Y15
+
+cmulRow:
+	MOVQ DI, R10
+	MOVQ DX, R11
+
+cmulPairs:
+	CMPQ R11, $2
+	JLT  cmulTail
+	VMOVUPD (R10), Y0
+	VMULPD Y0, Y14, Y1           // (ar*cr, ai*cr)
+	VPERMILPD $5, Y0, Y2         // swap re/im per complex
+	VMULPD Y2, Y15, Y2           // (ai*ci, ar*ci)
+	VADDSUBPD Y2, Y1, Y1         // (re-, im+)
+	VMOVUPD Y1, (R10)
+	ADDQ $32, R10
+	SUBQ $2, R11
+	JMP  cmulPairs
+
+cmulTail:
+	TESTQ R11, R11
+	JEQ  cmulRowDone
+	VMOVUPD (R10), X0
+	VMULPD X0, X14, X1
+	VPERMILPD $1, X0, X2
+	VMULPD X2, X15, X2
+	VADDSUBPD X2, X1, X1
+	VMOVUPD X1, (R10)
+
+cmulRowDone:
+	ADDQ SI, DI
+	DECQ CX
+	JNZ  cmulRow
+	VZEROUPPER
+	RET
+
+// func avx2DiagBlockTerm(base *complex128, stride, lanes, cnt int, sel, val uint64, cr, ci float64)
+TEXT ·avx2DiagBlockTerm(SB), NOSPLIT, $0-64
+	MOVQ base+0(FP), DI
+	MOVQ stride+8(FP), SI
+	SHLQ $4, SI                  // row stride in bytes
+	MOVQ lanes+16(FP), DX
+	MOVQ cnt+24(FP), CX
+	MOVQ sel+32(FP), R8
+	MOVQ val+40(FP), R9
+	VBROADCASTSD cr+48(FP), Y14
+	VBROADCASTSD ci+56(FP), Y15
+	MOVQ R9, BX                  // x = val
+	MOVQ R8, R13
+	NOTQ R13                     // ^sel
+
+diagPoint:
+	MOVQ BX, AX
+	IMULQ SI, AX
+	LEAQ (DI)(AX*1), R10         // row = base + x*stride
+	MOVQ DX, R11
+
+diagPairs:
+	CMPQ R11, $2
+	JLT  diagTail
+	VMOVUPD (R10), Y0
+	VMULPD Y0, Y14, Y1
+	VPERMILPD $5, Y0, Y2
+	VMULPD Y2, Y15, Y2
+	VADDSUBPD Y2, Y1, Y1
+	VMOVUPD Y1, (R10)
+	ADDQ $32, R10
+	SUBQ $2, R11
+	JMP  diagPairs
+
+diagTail:
+	TESTQ R11, R11
+	JEQ  diagNext
+	VMOVUPD (R10), X0
+	VMULPD X0, X14, X1
+	VPERMILPD $1, X0, X2
+	VMULPD X2, X15, X2
+	VADDSUBPD X2, X1, X1
+	VMOVUPD X1, (R10)
+
+diagNext:
+	// x = ((x | sel) + 1) &^ sel | val
+	ORQ  R8, BX
+	ADDQ $1, BX
+	ANDQ R13, BX
+	ORQ  R9, BX
+	DECQ CX
+	JNZ  diagPoint
+	VZEROUPPER
+	RET
+
+// func avx2Combine2x2(a, b *complex128, rows, rowLen, stride int, m *[4]complex128)
+TEXT ·avx2Combine2x2(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), DI
+	MOVQ b+8(FP), SI
+	MOVQ rows+16(FP), CX
+	MOVQ rowLen+24(FP), DX
+	MOVQ stride+32(FP), R9
+	SHLQ $4, R9
+	MOVQ m+40(FP), AX
+	VBROADCASTSD (AX), Y8        // re m00
+	VBROADCASTSD 8(AX), Y9       // im m00
+	VBROADCASTSD 16(AX), Y10     // re m01
+	VBROADCASTSD 24(AX), Y11     // im m01
+	VBROADCASTSD 32(AX), Y12     // re m10
+	VBROADCASTSD 40(AX), Y13     // im m10
+	VBROADCASTSD 48(AX), Y14     // re m11
+	VBROADCASTSD 56(AX), Y15     // im m11
+
+c2Row:
+	MOVQ DI, R10
+	MOVQ SI, R11
+	MOVQ DX, R12
+
+c2Pairs:
+	CMPQ R12, $2
+	JLT  c2Tail
+	VMOVUPD (R10), Y0            // a
+	VMOVUPD (R11), Y1            // b
+	VPERMILPD $5, Y0, Y2         // swap(a)
+	VPERMILPD $5, Y1, Y3         // swap(b)
+	// a' = m00*a + m01*b
+	VMULPD Y0, Y8, Y4
+	VMULPD Y2, Y9, Y5
+	VADDSUBPD Y5, Y4, Y4
+	VMULPD Y1, Y10, Y5
+	VMULPD Y3, Y11, Y6
+	VADDSUBPD Y6, Y5, Y5
+	VADDPD Y5, Y4, Y4
+	// b' = m10*a + m11*b
+	VMULPD Y0, Y12, Y6
+	VMULPD Y2, Y13, Y7
+	VADDSUBPD Y7, Y6, Y6
+	VMULPD Y1, Y14, Y7
+	VMULPD Y3, Y15, Y0
+	VADDSUBPD Y0, Y7, Y7
+	VADDPD Y7, Y6, Y6
+	VMOVUPD Y4, (R10)
+	VMOVUPD Y6, (R11)
+	ADDQ $32, R10
+	ADDQ $32, R11
+	SUBQ $2, R12
+	JMP  c2Pairs
+
+c2Tail:
+	TESTQ R12, R12
+	JEQ  c2RowDone
+	VMOVUPD (R10), X0
+	VMOVUPD (R11), X1
+	VPERMILPD $1, X0, X2
+	VPERMILPD $1, X1, X3
+	VMULPD X0, X8, X4
+	VMULPD X2, X9, X5
+	VADDSUBPD X5, X4, X4
+	VMULPD X1, X10, X5
+	VMULPD X3, X11, X6
+	VADDSUBPD X6, X5, X5
+	VADDPD X5, X4, X4
+	VMULPD X0, X12, X6
+	VMULPD X2, X13, X7
+	VADDSUBPD X7, X6, X6
+	VMULPD X1, X14, X7
+	VMULPD X3, X15, X0
+	VADDSUBPD X0, X7, X7
+	VADDPD X7, X6, X6
+	VMOVUPD X4, (R10)
+	VMOVUPD X6, (R11)
+
+c2RowDone:
+	ADDQ R9, DI
+	ADDQ R9, SI
+	DECQ CX
+	JNZ  c2Row
+	VZEROUPPER
+	RET
+
+// func avx2HSpans(a, b *complex128, rows, rowLen, stride int, inv float64)
+TEXT ·avx2HSpans(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), DI
+	MOVQ b+8(FP), SI
+	MOVQ rows+16(FP), CX
+	MOVQ rowLen+24(FP), DX
+	MOVQ stride+32(FP), R9
+	SHLQ $4, R9
+	VBROADCASTSD inv+40(FP), Y14
+	VXORPD Y15, Y15, Y15         // 0.0 — keeps the scalar 0*x sign terms
+
+hRow:
+	MOVQ DI, R10
+	MOVQ SI, R11
+	MOVQ DX, R12
+
+hPairs:
+	CMPQ R12, $2
+	JLT  hTail
+	VMOVUPD (R10), Y0            // a0
+	VMOVUPD (R11), Y1            // a1
+	VADDPD Y1, Y0, Y2            // s = a0 + a1
+	VSUBPD Y1, Y0, Y3            // d = a0 - a1
+	VMULPD Y2, Y14, Y4           // (sr*inv, si*inv)
+	VPERMILPD $5, Y2, Y5
+	VMULPD Y5, Y15, Y5           // (si*0, sr*0)
+	VADDSUBPD Y5, Y4, Y4         // complex(inv,0)*s
+	VMULPD Y3, Y14, Y6
+	VPERMILPD $5, Y3, Y7
+	VMULPD Y7, Y15, Y7
+	VADDSUBPD Y7, Y6, Y6         // complex(inv,0)*d
+	VMOVUPD Y4, (R10)
+	VMOVUPD Y6, (R11)
+	ADDQ $32, R10
+	ADDQ $32, R11
+	SUBQ $2, R12
+	JMP  hPairs
+
+hTail:
+	TESTQ R12, R12
+	JEQ  hRowDone
+	VMOVUPD (R10), X0
+	VMOVUPD (R11), X1
+	VADDPD X1, X0, X2
+	VSUBPD X1, X0, X3
+	VMULPD X2, X14, X4
+	VPERMILPD $1, X2, X5
+	VMULPD X5, X15, X5
+	VADDSUBPD X5, X4, X4
+	VMULPD X3, X14, X6
+	VPERMILPD $1, X3, X7
+	VMULPD X7, X15, X7
+	VADDSUBPD X7, X6, X6
+	VMOVUPD X4, (R10)
+	VMOVUPD X6, (R11)
+
+hRowDone:
+	ADDQ R9, DI
+	ADDQ R9, SI
+	DECQ CX
+	JNZ  hRow
+	VZEROUPPER
+	RET

@@ -1,0 +1,25 @@
+//go:build !amd64
+
+package sim
+
+// Portable build: no SIMD fast paths; the batched kernels run their
+// pure-Go lane loops, which are the bit-exactness reference anyway.
+
+var simdAvailable = false
+var batchSIMD = false
+
+func avx2CMulRows(ptr *complex128, rows, rowLen, stride int, cr, ci float64) {
+	panic("sim: SIMD kernel called on non-amd64 build")
+}
+
+func avx2DiagBlockTerm(base *complex128, stride, lanes, cnt int, sel, val uint64, cr, ci float64) {
+	panic("sim: SIMD kernel called on non-amd64 build")
+}
+
+func avx2Combine2x2(a, b *complex128, rows, rowLen, stride int, m *[4]complex128) {
+	panic("sim: SIMD kernel called on non-amd64 build")
+}
+
+func avx2HSpans(a, b *complex128, rows, rowLen, stride int, inv float64) {
+	panic("sim: SIMD kernel called on non-amd64 build")
+}
