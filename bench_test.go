@@ -353,14 +353,95 @@ func BenchmarkStatePrepare8(b *testing.B) {
 	}
 }
 
+// BenchmarkSampler2048Shots is the production shot-sampling stage as
+// runInstance drives it: warm scratch, guide-table resolution, counts
+// written in place. The hard acceptance here is 0 B/op and 0 allocs/op
+// at steady state (GC off so the pool cannot drain mid-run).
 func BenchmarkSampler2048Shots(b *testing.B) {
 	probs := make([]float64, 256)
 	for i := range probs {
 		probs[i] = 1.0 / 256
 	}
 	s := sim.NewSampler(9, 10)
+	sc := sim.GetSampleScratch()
+	defer sim.PutSampleScratch(sc)
+	out := make([]int, len(probs))
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	s.CountsInto(sc, probs, 2048, out) // warm the scratch
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Counts(probs, 2048)
+		s.CountsInto(sc, probs, 2048, out)
+	}
+}
+
+// BenchmarkSamplerMerge races the three bin-resolution strategies on
+// the same 256-bin / 2048-shot workload: the legacy per-shot binary
+// search (reference), the sorted-uniform merge, and the guide-table
+// stage the production tail uses. All three produce bit-identical
+// histograms; the numbers here justify which one runInstance runs.
+func BenchmarkSamplerMerge(b *testing.B) {
+	probs := make([]float64, 256)
+	for i := range probs {
+		probs[i] = 1.0 / 256
+	}
+	const shots = 2048
+	b.Run("reference-binsearch", func(b *testing.B) {
+		s := sim.NewSampler(9, 10)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Counts(probs, shots)
+		}
+	})
+	b.Run("merge", func(b *testing.B) {
+		s := sim.NewSampler(9, 10)
+		sc := sim.GetSampleScratch()
+		defer sim.PutSampleScratch(sc)
+		out := make([]int, len(probs))
+		defer debug.SetGCPercent(debug.SetGCPercent(-1))
+		s.CountsMergeInto(sc, probs, shots, out)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.CountsMergeInto(sc, probs, shots, out)
+		}
+	})
+	b.Run("guide", func(b *testing.B) {
+		s := sim.NewSampler(9, 10)
+		sc := sim.GetSampleScratch()
+		defer sim.PutSampleScratch(sc)
+		out := make([]int, len(probs))
+		defer debug.SetGCPercent(debug.SetGCPercent(-1))
+		s.CountsInto(sc, probs, shots, out)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.CountsInto(sc, probs, shots, out)
+		}
+	})
+}
+
+// BenchmarkInstanceTail measures the complete post-backend instance
+// tail — reseed, 2048 shots, score, fidelity — through the experiment
+// layer's pooled scratch, i.e. exactly what each operand instance pays
+// after its trajectory mixture returns. Must be 0 allocs/op warm.
+func BenchmarkInstanceTail(b *testing.B) {
+	cfg := experiment.PointConfig{
+		Geometry: experiment.PaperAddGeometry(),
+		OrderX:   1, OrderY: 2,
+		Shots:   2048,
+		RowSeed: 77, PointSeed: 41,
+	}
+	dist := make([]float64, 1<<uint(len(cfg.Geometry.OutReg)))
+	for i := range dist {
+		dist[i] = 1 / float64(len(dist))
+	}
+	xs, ys := cfg.InstanceOperands(0)
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	cfg.SampleAndScore(0, xs, ys, dist, dist) // warm the pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.SampleAndScore(0, xs, ys, dist, dist)
 	}
 }

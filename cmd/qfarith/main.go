@@ -277,6 +277,8 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 	batch := fs.Int("batch", 0, "trajectories simulated per SoA batch (trajectory-batch backend; 0 = auto-size to cache)")
 	rundir := fs.String("rundir", "", "durable run directory: manifest + per-point checkpoint log; artifacts land here")
 	resume := fs.Bool("resume", false, "resume the run in -rundir, skipping checkpointed points")
+	sampler := fs.String("sampler", experiment.SamplerMode(),
+		"shot-sampling stage: fast|legacy (bit-identical; legacy kept for equivalence checks)")
 	var cf compileFlags
 	cf.register(fs)
 	var prof profiler
@@ -286,6 +288,10 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 	fs.Parse(args)
 	if *resume && *rundir == "" {
 		fmt.Fprintln(os.Stderr, "-resume requires -rundir")
+		exit(2)
+	}
+	if err := experiment.SetSamplerMode(*sampler); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		exit(2)
 	}
 	pcfg := cf.config()

@@ -139,7 +139,10 @@ func (t *sweepTracker) loop() {
 
 // line renders one progress report. The shots/sec figure is the delta
 // of the process-wide shots counter over the reporting interval, so it
-// reflects current throughput rather than a lifetime average.
+// reflects current throughput rather than a lifetime average. The
+// sample% figure is the shot-sampling stage's cumulative share of
+// point wall time (qfarith_sample_seconds over qfarith_point_seconds),
+// the number the constant-time sampling stage exists to keep small.
 func (t *sweepTracker) line() {
 	t.mu.Lock()
 	done, fresh, restored := t.done, t.fresh, t.restored
@@ -161,5 +164,10 @@ func (t *sweepTracker) line() {
 		eta := time.Duration(float64(t.total-done) / rate * float64(time.Second))
 		line += fmt.Sprintf(" | %.1f pts/min | ETA %s", rate*60, eta.Round(time.Second))
 	}
-	fmt.Printf("%s | %.0f shots/s\n", line, sps)
+	line += fmt.Sprintf(" | %.0f shots/s", sps)
+	if pointSum := telemetry.Default().HistogramSum("qfarith_point_seconds"); pointSum > 0 {
+		sampleSum := telemetry.Default().HistogramSum("qfarith_sample_seconds")
+		line += fmt.Sprintf(" | sample %.1f%%", 100*sampleSum/pointSum)
+	}
+	fmt.Println(line)
 }

@@ -18,7 +18,6 @@ import (
 	"qfarith/internal/compile"
 	"qfarith/internal/metrics"
 	"qfarith/internal/noise"
-	"qfarith/internal/sim"
 	"qfarith/internal/telemetry"
 	"qfarith/internal/transpile"
 )
@@ -341,10 +340,16 @@ func runPointOn(ctx context.Context, r *backend.Runner, cfg PointConfig, res *tr
 }
 
 // runInstance evaluates one operand instance through the backend and
-// scores the sampled shots with the paper's metric.
+// scores the sampled shots with the paper's metric. Every per-instance
+// buffer — the 2^n initial-amplitude vector and the sampling/scoring
+// tail's histogram, correct-set, and sampler — comes from the instance
+// scratch pool, so a warm sweep allocates nothing here beyond what the
+// backend returns.
 func (cfg PointConfig) runInstance(ctx context.Context, b backend.Backend, res *transpile.Result, idx int) (metrics.InstanceResult, backend.Diagnostics, error) {
 	xs, ys := cfg.instanceOperands(idx)
-	initial := make([]complex128, 1<<uint(cfg.Geometry.TotalQubits))
+	sc := getInstanceScratch()
+	defer putInstanceScratch(sc)
+	initial := sc.amps(1 << uint(cfg.Geometry.TotalQubits))
 	cfg.initialAmps(initial, xs, ys)
 	dist, diag, err := b.Run(ctx, backend.PointSpec{
 		Circuit:      res,
@@ -358,10 +363,6 @@ func (cfg PointConfig) runInstance(ctx context.Context, b backend.Backend, res *
 	if err != nil {
 		return metrics.InstanceResult{}, backend.Diagnostics{}, err
 	}
-	sampler := sim.NewSampler(splitSeed(cfg.PointSeed, uint64(idx)^0xabcdef), uint64(idx))
-	counts := sampler.Counts(dist, cfg.Shots)
-	shotsTotal.Add(uint64(cfg.Shots))
-	ir := metrics.Score(counts, cfg.correctSet(xs, ys))
-	ir.Fidelity = metrics.ClassicalFidelity(diag.Ideal, dist)
+	ir := cfg.sampleAndScore(sc, idx, xs, ys, dist, diag.Ideal)
 	return ir, diag, nil
 }

@@ -9,8 +9,12 @@ import "qfarith/internal/telemetry"
 // reporting needs so a resumed sweep's rate and ETA reflect only fresh
 // work (restored cells complete "instantly" and would otherwise
 // inflate both).
+// sampleSec times the per-instance shot-sampling/scoring tail; its sum
+// against qfarith_point_seconds' sum is the sampling stage's share of
+// sweep wall time (surfaced in the progress line and telemetry.json).
 var (
 	pointSec       = telemetry.Default().Histogram("qfarith_point_seconds")
+	sampleSec      = telemetry.Default().Histogram("qfarith_sample_seconds")
 	pointsFresh    = telemetry.Default().Counter("qfarith_points_total", telemetry.L("kind", "fresh"))
 	pointsRestored = telemetry.Default().Counter("qfarith_points_total", telemetry.L("kind", "restored"))
 	shotsTotal     = telemetry.Default().Counter("qfarith_shots_total")

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiment
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Its shadow-memory bookkeeping allocates, so allocation-count
+// contracts are unmeasurable under -race.
+const raceEnabled = true

@@ -9,7 +9,6 @@ import (
 	"qfarith/internal/compile"
 	"qfarith/internal/layout"
 	"qfarith/internal/metrics"
-	"qfarith/internal/sim"
 	"qfarith/internal/telemetry"
 	"qfarith/internal/transpile"
 )
@@ -96,8 +95,10 @@ func RunRoutedPointCtx(ctx context.Context, r *backend.Runner, cfg PointConfig, 
 	var diag backend.Diagnostics
 	err = r.Do(ctx, cfg.Instances, func(idx int) error {
 		xs, ys := cfg.instanceOperands(idx)
-		logical := make([]complex128, 1<<uint(cfg.Geometry.TotalQubits))
-		initial := make([]complex128, 1<<uint(nUsed))
+		sc := getInstanceScratch()
+		defer putInstanceScratch(sc)
+		logical := sc.logicalAmps(1 << uint(cfg.Geometry.TotalQubits))
+		initial := sc.amps(1 << uint(nUsed))
 		cfg.initialAmps(logical, xs, ys)
 		embedInitial(initial, logical, initLayout, cfg.Geometry.TotalQubits)
 		dist, d, err := r.Backend().Run(ctx, backend.PointSpec{
@@ -112,11 +113,7 @@ func RunRoutedPointCtx(ctx context.Context, r *backend.Runner, cfg PointConfig, 
 		if err != nil {
 			return err
 		}
-		sampler := sim.NewSampler(splitSeed(cfg.PointSeed, uint64(idx)^0xabcdef), uint64(idx))
-		counts := sampler.Counts(dist, cfg.Shots)
-		shotsTotal.Add(uint64(cfg.Shots))
-		results[idx] = metrics.Score(counts, cfg.correctSet(xs, ys))
-		results[idx].Fidelity = metrics.ClassicalFidelity(d.Ideal, dist)
+		results[idx] = cfg.sampleAndScore(sc, idx, xs, ys, dist, d.Ideal)
 		if idx == 0 {
 			diag = d
 		}

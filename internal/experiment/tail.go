@@ -1,0 +1,178 @@
+// The shot-sampling/scoring tail of an operand instance: everything
+// between the backend returning a measurement distribution and the
+// instance's InstanceResult. The tail is allocation-free at steady
+// state — sampler, sampling scratch, histogram, correct-set, and
+// initial-amplitude buffers are all pooled per instance — and is
+// instrumented end to end (qfarith_sample_seconds).
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"qfarith/internal/metrics"
+	"qfarith/internal/sim"
+	"qfarith/internal/telemetry"
+)
+
+// Sampler-mode toggle. The constant-time guide-table sampler is
+// bit-identical to the legacy inverse-CDF binary search (CI byte-diffs
+// fixed-seed CSVs with the toggle in both positions); the legacy path
+// is retained as the reference the equivalence job compares against.
+const (
+	// SamplerFast selects the pooled guide-table sampling stage
+	// (sim.CountsInto) — the default.
+	SamplerFast = "fast"
+	// SamplerLegacy selects the original allocating O(shots·log M)
+	// binary-search stage (sim.Sampler.Counts).
+	SamplerLegacy = "legacy"
+)
+
+// legacySampler is 1 when the legacy stage is selected. An atomic so
+// tests and the CLI may flip it while instances run on worker
+// goroutines.
+var legacySampler atomic.Bool
+
+// init honors the QFARITH_SAMPLER environment variable, the rebuild-free
+// toggle the CI equivalence job uses.
+func init() {
+	if err := setSamplerEnv(os.Getenv("QFARITH_SAMPLER")); err != nil {
+		fmt.Fprintln(os.Stderr, "experiment:", err)
+	}
+}
+
+func setSamplerEnv(v string) error {
+	if v == "" {
+		return nil
+	}
+	return SetSamplerMode(v)
+}
+
+// SetSamplerMode selects the shot-sampling implementation ("fast" or
+// "legacy"). Both produce bit-identical histograms for equal seeds;
+// the toggle exists so CI can prove exactly that on full sweeps.
+func SetSamplerMode(mode string) error {
+	switch mode {
+	case SamplerFast:
+		legacySampler.Store(false)
+	case SamplerLegacy:
+		legacySampler.Store(true)
+	default:
+		return fmt.Errorf("unknown sampler mode %q (want %q or %q)", mode, SamplerFast, SamplerLegacy)
+	}
+	return nil
+}
+
+// SamplerMode reports the currently selected shot-sampling mode.
+func SamplerMode() string {
+	if legacySampler.Load() {
+		return SamplerLegacy
+	}
+	return SamplerFast
+}
+
+// instanceScratch pools every per-instance buffer of the run/sample/
+// score tail: the 2^n initial-amplitude vector (and the routed path's
+// logical-embedding companion), the shot histogram, the sorted
+// correct-set, a reseedable sampler, and the sampling scratch.
+type instanceScratch struct {
+	initial []complex128
+	logical []complex128
+	counts  []int
+	correct []int
+	sampler *sim.Sampler
+	sample  *sim.SampleScratch
+}
+
+var instancePool = sync.Pool{New: func() any {
+	return &instanceScratch{
+		sampler: sim.NewSampler(0, 0),
+		sample:  sim.GetSampleScratch(),
+	}
+}}
+
+func getInstanceScratch() *instanceScratch   { return instancePool.Get().(*instanceScratch) }
+func putInstanceScratch(sc *instanceScratch) { instancePool.Put(sc) }
+
+// amps returns the scratch's initial-amplitude buffer resized to dim,
+// growing it only when a wider geometry comes through the pool.
+func (sc *instanceScratch) amps(dim int) []complex128 {
+	if cap(sc.initial) < dim {
+		sc.initial = make([]complex128, dim)
+	}
+	return sc.initial[:dim]
+}
+
+// logicalAmps is amps for the routed path's logical pre-embedding
+// vector.
+func (sc *instanceScratch) logicalAmps(dim int) []complex128 {
+	if cap(sc.logical) < dim {
+		sc.logical = make([]complex128, dim)
+	}
+	return sc.logical[:dim]
+}
+
+// countsBuf returns the scratch's histogram buffer resized to n.
+func (sc *instanceScratch) countsBuf(n int) []int {
+	if cap(sc.counts) < n {
+		sc.counts = make([]int, n)
+	}
+	return sc.counts[:n]
+}
+
+// sampleAndScore runs the shot-sampling and scoring tail of one operand
+// instance against its measurement distribution: reseed the pooled
+// sampler with the instance's historical seed derivation, draw
+// cfg.Shots shots (guide-table or legacy binary search, per the
+// toggle), and score the histogram with the paper's metric plus the
+// classical ideal-vs-noisy fidelity. dist and ideal are only read.
+func (cfg PointConfig) sampleAndScore(sc *instanceScratch, idx int, xs, ys []int, dist, ideal []float64) metrics.InstanceResult {
+	sp := telemetry.StartSpan(sampleSec)
+	seed1, seed2 := splitSeed(cfg.PointSeed, uint64(idx)^0xabcdef), uint64(idx)
+	var ir metrics.InstanceResult
+	if legacySampler.Load() {
+		counts := sim.NewSampler(seed1, seed2).Counts(dist, cfg.Shots)
+		ir = metrics.Score(counts, cfg.correctSet(xs, ys))
+	} else {
+		sc.sampler.Reseed(seed1, seed2)
+		counts := sc.countsBuf(len(dist))
+		sc.sampler.CountsInto(sc.sample, dist, cfg.Shots, counts)
+		ir = metrics.ScoreSorted(counts, cfg.correctSorted(sc, xs, ys))
+	}
+	shotsTotal.Add(uint64(cfg.Shots))
+	ir.Fidelity = metrics.ClassicalFidelity(ideal, dist)
+	sp.End()
+	return ir
+}
+
+// SampleAndScore is the exported form of the instance tail for
+// benchmarks and custom backends: identical semantics, pooled buffers
+// drawn from (and returned to) the package pool around the call.
+func (cfg PointConfig) SampleAndScore(idx int, xs, ys []int, dist, ideal []float64) metrics.InstanceResult {
+	sc := getInstanceScratch()
+	defer putInstanceScratch(sc)
+	return cfg.sampleAndScore(sc, idx, xs, ys, dist, ideal)
+}
+
+// InstanceOperands exposes the deterministic per-instance operand draw
+// so external benchmarks can reconstruct the exact tail workload an
+// instance index produces.
+func (cfg PointConfig) InstanceOperands(idx int) (xs, ys []int) {
+	return cfg.instanceOperands(idx)
+}
+
+// correctSorted writes the instance's expected-output set into the
+// scratch's correct buffer, sorted and deduplicated for ScoreSorted.
+func (cfg PointConfig) correctSorted(sc *instanceScratch, xs, ys []int) []int {
+	if cap(sc.correct) == 0 {
+		sc.correct = make([]int, 0, 8)
+	}
+	if cfg.Geometry.Op == OpAdd {
+		sc.correct = metrics.CorrectSumsInto(sc.correct, xs, ys, cfg.Geometry.OutBits)
+	} else {
+		sc.correct = metrics.CorrectProductsInto(sc.correct, xs, ys, cfg.Geometry.OutBits)
+	}
+	return sc.correct
+}

@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"qfarith/internal/noise"
+	"qfarith/internal/qft"
+)
+
+// withSamplerMode runs f under the given sampler mode, restoring the
+// previous mode afterwards.
+func withSamplerMode(t *testing.T, mode string, f func()) {
+	t.Helper()
+	prev := SamplerMode()
+	if err := SetSamplerMode(mode); err != nil {
+		t.Fatal(err)
+	}
+	defer SetSamplerMode(prev)
+	f()
+}
+
+func TestSetSamplerMode(t *testing.T) {
+	if got := SamplerMode(); got != SamplerFast {
+		t.Fatalf("default mode = %q, want %q", got, SamplerFast)
+	}
+	withSamplerMode(t, SamplerLegacy, func() {
+		if got := SamplerMode(); got != SamplerLegacy {
+			t.Fatalf("mode = %q, want %q", got, SamplerLegacy)
+		}
+	})
+	if err := SetSamplerMode("turbo"); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+	if got := SamplerMode(); got != SamplerFast {
+		t.Fatalf("mode after restore = %q, want %q", got, SamplerFast)
+	}
+}
+
+// TestRunPointSamplerEquivalence is the bit-exactness contract at the
+// experiment layer: a full point run must produce identical results —
+// success rates, margins, fidelities, diagnostics — under the legacy
+// binary-search sampler and the pooled guide-table sampler.
+func TestRunPointSamplerEquivalence(t *testing.T) {
+	for _, geo := range []Geometry{AddGeometry(3, 4), MulGeometry(3, 3)} {
+		cfg := PointConfig{
+			Geometry:     geo,
+			Depth:        qft.Full,
+			Model:        noise.PaperModel(0.01, 0.01),
+			OrderX:       1,
+			OrderY:       2,
+			Instances:    6,
+			Shots:        512,
+			Trajectories: 6,
+			RowSeed:      11,
+			PointSeed:    777,
+		}
+		var legacy, fast PointResult
+		withSamplerMode(t, SamplerLegacy, func() { legacy = RunPoint(cfg) })
+		withSamplerMode(t, SamplerFast, func() { fast = RunPoint(cfg) })
+		if legacy.Stats != fast.Stats {
+			t.Errorf("%v: stats differ:\nlegacy %+v\nfast   %+v", geo.Op, legacy.Stats, fast.Stats)
+		}
+		if legacy.NoErrorProb != fast.NoErrorProb || legacy.ExpectedErrors != fast.ExpectedErrors {
+			t.Errorf("%v: diagnostics differ", geo.Op)
+		}
+	}
+}
+
+// TestSampleAndScoreZeroAlloc pins the tentpole: a warm instance tail
+// allocates nothing. GC is disabled so sync.Pool cannot be drained
+// between iterations.
+func TestSampleAndScoreZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; alloc contract is checked in the non-race run")
+	}
+	cfg := PointConfig{
+		Geometry:  AddGeometry(3, 4),
+		OrderX:    1,
+		OrderY:    2,
+		Shots:     2048,
+		RowSeed:   11,
+		PointSeed: 41,
+	}
+	dist := make([]float64, 1<<uint(len(cfg.Geometry.OutReg)))
+	for i := range dist {
+		dist[i] = 1 / float64(len(dist))
+	}
+	xs, ys := cfg.instanceOperands(0)
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	withSamplerMode(t, SamplerFast, func() {
+		cfg.SampleAndScore(0, xs, ys, dist, dist) // warm the pool
+		allocs := testing.AllocsPerRun(20, func() {
+			cfg.SampleAndScore(0, xs, ys, dist, dist)
+		})
+		if allocs != 0 {
+			t.Errorf("warm SampleAndScore allocates %.1f times per run, want 0", allocs)
+		}
+	})
+}

@@ -37,6 +37,9 @@ type InstanceResult struct {
 // instance is unsuccessful iff any incorrect output possesses MORE
 // counts than any one of the correct outputs; an exact tie therefore
 // still counts as success, with margin zero.
+//
+// Score only reads its arguments and retains neither, so both may be
+// pooled buffers the caller recycles immediately after the call.
 func Score(counts []int, correct map[int]bool) InstanceResult {
 	if len(correct) == 0 {
 		panic("metrics: no correct outputs specified")
@@ -54,6 +57,39 @@ func Score(counts []int, correct map[int]bool) InstanceResult {
 	}
 	if minCorrect == math.MaxInt {
 		minCorrect = 0 // all outputs marked correct
+	}
+	margin := minCorrect - maxIncorrect
+	return InstanceResult{Success: margin >= 0, Margin: margin}
+}
+
+// ScoreSorted is Score with the correct set given as a sorted
+// (ascending, deduplicated) slice instead of a map, so the zero-alloc
+// instance tail can score a pooled histogram against a pooled correct
+// buffer without building a map per instance. The result is identical
+// to Score over the equivalent set: entries beyond the histogram range
+// are ignored exactly as map entries no output value reaches would be.
+// Neither argument is retained.
+func ScoreSorted(counts []int, correct []int) InstanceResult {
+	if len(correct) == 0 {
+		panic("metrics: no correct outputs specified")
+	}
+	minCorrect := math.MaxInt
+	maxIncorrect := 0
+	ci := 0
+	for v, c := range counts {
+		if ci < len(correct) && correct[ci] == v {
+			for ci < len(correct) && correct[ci] == v {
+				ci++ // tolerate duplicates a caller failed to collapse
+			}
+			if c < minCorrect {
+				minCorrect = c
+			}
+		} else if c > maxIncorrect {
+			maxIncorrect = c
+		}
+	}
+	if minCorrect == math.MaxInt {
+		minCorrect = 0 // no correct output within the histogram range
 	}
 	margin := minCorrect - maxIncorrect
 	return InstanceResult{Success: margin >= 0, Margin: margin}
@@ -143,6 +179,56 @@ func CorrectProducts(xs, ys []int, w int) map[int]bool {
 	for _, x := range xs {
 		for _, y := range ys {
 			out[(x*y)&mask] = true
+		}
+	}
+	return out
+}
+
+// CorrectSumsInto is the pooled-buffer companion of CorrectSums: it
+// writes the sorted, deduplicated expected sums into dst (reusing its
+// capacity, growing only when needed) and returns the slice, ready for
+// ScoreSorted. The operand superpositions are tiny (the paper sweeps
+// orders up to 2:2, i.e. at most four products), so the sort is
+// effectively free.
+func CorrectSumsInto(dst []int, xs, ys []int, w int) []int {
+	mask := 1<<uint(w) - 1
+	dst = dst[:0]
+	for _, x := range xs {
+		for _, y := range ys {
+			dst = append(dst, (x+y)&mask)
+		}
+	}
+	return sortDedup(dst)
+}
+
+// CorrectProductsInto is CorrectSumsInto for multiplication instances.
+func CorrectProductsInto(dst []int, xs, ys []int, w int) []int {
+	mask := 1<<uint(w) - 1
+	dst = dst[:0]
+	for _, x := range xs {
+		for _, y := range ys {
+			dst = append(dst, (x*y)&mask)
+		}
+	}
+	return sortDedup(dst)
+}
+
+// sortDedup sorts dst ascending and removes adjacent duplicates in
+// place. Insertion sort: the inputs are at most a handful of values.
+func sortDedup(dst []int) []int {
+	for i := 1; i < len(dst); i++ {
+		v := dst[i]
+		j := i - 1
+		for j >= 0 && dst[j] > v {
+			dst[j+1] = dst[j]
+			j--
+		}
+		dst[j+1] = v
+	}
+	out := dst[:0]
+	for i, v := range dst {
+		if i == 0 || v != dst[i-1] {
+			out = append(out, v)
 		}
 	}
 	return out

@@ -2,6 +2,8 @@ package metrics_test
 
 import (
 	"math"
+	"math/rand/v2"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -175,5 +177,104 @@ func TestScorePropertySuccessIffMarginNonNegative(t *testing.T) {
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestScoreSortedMatchesScore is the equivalence property the pooled
+// instance tail relies on: over random histograms and random correct
+// sets, ScoreSorted on the sorted-slice form must reproduce Score on
+// the map form exactly.
+func TestScoreSortedMatchesScore(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 53))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.IntN(300)
+		counts := make([]int, n)
+		for i := range counts {
+			if rng.IntN(3) == 0 {
+				counts[i] = rng.IntN(100)
+			}
+		}
+		k := 1 + rng.IntN(5)
+		if k > n {
+			k = n
+		}
+		correctMap := make(map[int]bool, k)
+		var sorted []int
+		for len(correctMap) < k {
+			v := rng.IntN(n)
+			if !correctMap[v] {
+				correctMap[v] = true
+				sorted = append(sorted, v)
+			}
+		}
+		slices.Sort(sorted)
+		want := metrics.Score(counts, correctMap)
+		got := metrics.ScoreSorted(counts, sorted)
+		if got != want {
+			t.Fatalf("trial %d: ScoreSorted = %+v, Score = %+v (counts=%v correct=%v)",
+				trial, got, want, counts, sorted)
+		}
+	}
+}
+
+func TestScoreSortedEdgeCases(t *testing.T) {
+	// All bins correct: maxIncorrect stays 0.
+	all := metrics.ScoreSorted([]int{5, 7, 3}, []int{0, 1, 2})
+	if !all.Success || all.Margin != 3 {
+		t.Errorf("all-correct: %+v, want success margin 3", all)
+	}
+	// Correct values beyond the histogram range are ignored, like map
+	// entries no outcome reaches.
+	out := metrics.ScoreSorted([]int{5, 7}, []int{1, 99})
+	want := metrics.Score([]int{5, 7}, map[int]bool{1: true, 99: true})
+	if out != want {
+		t.Errorf("out-of-range correct: ScoreSorted %+v, Score %+v", out, want)
+	}
+	// Duplicate entries collapse like map keys.
+	dup := metrics.ScoreSorted([]int{5, 7, 2}, []int{1, 1, 2})
+	wantDup := metrics.Score([]int{5, 7, 2}, map[int]bool{1: true, 2: true})
+	if dup != wantDup {
+		t.Errorf("duplicate correct: ScoreSorted %+v, Score %+v", dup, wantDup)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty correct set must panic")
+		}
+	}()
+	metrics.ScoreSorted([]int{1}, nil)
+}
+
+// TestCorrectIntoMatchesMapForms pins the pooled correct-set builders
+// against the map-returning originals.
+func TestCorrectIntoMatchesMapForms(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 63))
+	buf := make([]int, 0, 1)
+	for trial := 0; trial < 200; trial++ {
+		w := 3 + rng.IntN(8)
+		xs := []int{rng.IntN(1 << w)}
+		ys := []int{rng.IntN(1 << w)}
+		if rng.IntN(2) == 0 {
+			xs = append(xs, rng.IntN(1<<w))
+		}
+		if rng.IntN(2) == 0 {
+			ys = append(ys, rng.IntN(1<<w))
+		}
+		check := func(name string, got []int, want map[int]bool) {
+			if len(got) != len(want) {
+				t.Fatalf("trial %d %s: %v vs map %v", trial, name, got, want)
+			}
+			for i, v := range got {
+				if !want[v] {
+					t.Fatalf("trial %d %s: value %d not in map %v", trial, name, v, want)
+				}
+				if i > 0 && got[i-1] >= v {
+					t.Fatalf("trial %d %s: not sorted/deduped: %v", trial, name, got)
+				}
+			}
+		}
+		buf = metrics.CorrectSumsInto(buf, xs, ys, w)
+		check("sums", buf, metrics.CorrectSums(xs, ys, w))
+		buf = metrics.CorrectProductsInto(buf, xs, ys, w)
+		check("products", buf, metrics.CorrectProducts(xs, ys, w))
 	}
 }

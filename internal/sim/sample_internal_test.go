@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// adversarialUniforms returns the u values most likely to expose a bin
+// disagreement between resolution strategies: 0, every CDF value and
+// its float neighbours, and the largest float below 1.
+func adversarialUniforms(cdf []float64) []float64 {
+	us := []float64{0, math.Nextafter(0, 1), 0.5, math.Nextafter(1, 0)}
+	for _, c := range cdf {
+		if c < 1 { // Float64 never draws 1
+			us = append(us, c)
+		}
+		if lo := math.Nextafter(c, 0); lo >= 0 {
+			us = append(us, lo)
+		}
+		if hi := math.Nextafter(c, 2); hi < 1 {
+			us = append(us, hi)
+		}
+	}
+	return us
+}
+
+// testDistributions is the shared gallery of adversarial probability
+// vectors: zero bins in every position, point masses, denormal-adjacent
+// weights, unnormalized input.
+func testDistributions() [][]float64 {
+	return [][]float64{
+		{1},
+		{0.5, 0.5},
+		{0.1, 0.4, 0.0, 0.3, 0.2},
+		{0, 0, 1, 0},
+		{1, 0, 0, 0},
+		{0, 0, 0, 1},
+		{0.5, 0, 0, 0.5, 0},
+		{0, 0.25, 0, 0.25, 0, 0.5},
+		{0, 0, 0},                       // degenerate: no probability mass at all
+		{1e-320, 1, 1e-320},             // denormal-adjacent weights
+		{5e-324, 5e-324, 1},             // smallest positive denormals
+		{0.2002, 0.2002, 0.2, 0.2, 0.2}, // drifted normalization
+		{-1e-17, 0.5, 0.5},              // kernel noise clamped to zero
+	}
+}
+
+// TestGuideBinMatchesSearchBin pins the core bit-exactness claim at the
+// single-uniform level: for adversarial distributions and the u values
+// sitting exactly on (and one ulp around) every CDF step, the guide
+// table resolves the identical bin as the binary-search reference.
+func TestGuideBinMatchesSearchBin(t *testing.T) {
+	sc := new(SampleScratch)
+	for _, probs := range testDistributions() {
+		sc.prepare(probs)
+		for _, u := range adversarialUniforms(sc.cdf) {
+			want := searchBin(sc.cdf, u)
+			if got := sc.bin(u); got != want {
+				t.Errorf("probs=%v u=%v (bits %#x): guide bin %d, search bin %d",
+					probs, u, math.Float64bits(u), got, want)
+			}
+		}
+	}
+}
+
+// TestGuideBinMatchesSearchBinRandom hammers the same equality with
+// random CDFs and random uniforms.
+func TestGuideBinMatchesSearchBinRandom(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 43))
+	sc := new(SampleScratch)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(300)
+		probs := make([]float64, n)
+		for i := range probs {
+			if rng.Float64() < 0.3 {
+				continue // zero bin
+			}
+			probs[i] = rng.Float64()
+		}
+		sc.prepare(probs)
+		for draw := 0; draw < 200; draw++ {
+			u := rng.Float64()
+			if want, got := searchBin(sc.cdf, u), sc.bin(u); got != want {
+				t.Fatalf("trial %d: u=%v guide bin %d, search bin %d (probs=%v)",
+					trial, u, got, want, probs)
+			}
+		}
+		for _, u := range adversarialUniforms(sc.cdf) {
+			if want, got := searchBin(sc.cdf, u), sc.bin(u); got != want {
+				t.Fatalf("trial %d: adversarial u=%v guide bin %d, search bin %d",
+					trial, u, got, want)
+			}
+		}
+	}
+}
+
+// TestGuideTableInvariants checks the table construction directly:
+// every entry points at the first bin whose CDF reaches the cell's
+// threshold, and thresholds are exact for the power-of-two table size.
+func TestGuideTableInvariants(t *testing.T) {
+	sc := new(SampleScratch)
+	for _, probs := range testDistributions() {
+		sc.prepare(probs)
+		g := len(sc.guide)
+		if g&(g-1) != 0 {
+			t.Fatalf("guide length %d is not a power of two", g)
+		}
+		for j, k32 := range sc.guide {
+			thresh := float64(j) / float64(g)
+			k := int(k32)
+			if sc.cdf[k] < thresh {
+				t.Fatalf("probs=%v guide[%d]=%d undershoots: cdf=%v < %v", probs, j, k, sc.cdf[k], thresh)
+			}
+			if k > 0 && sc.cdf[k-1] >= thresh {
+				t.Fatalf("probs=%v guide[%d]=%d overshoots: cdf[%d]=%v >= %v", probs, j, k, k-1, sc.cdf[k-1], thresh)
+			}
+		}
+	}
+}
+
+// TestOneBinSkipsLeadingZeroBins is the Sampler.One regression test: a
+// uniform of exactly 0 must not resolve to a zero-probability leading
+// bin (the one case where the first index of a shared-CDF-value run has
+// zero width).
+func TestOneBinSkipsLeadingZeroBins(t *testing.T) {
+	cases := []struct {
+		probs []float64
+		u     float64
+		want  int
+	}{
+		{[]float64{0, 0, 0.5, 0.5}, 0, 2},
+		{[]float64{0, 1}, 0, 1},
+		{[]float64{0, 0, 1}, 0, 2},
+		{[]float64{0.5, 0, 0.5}, 0, 0},       // leading bin has mass: no skip
+		{[]float64{0, 0.5, 0, 0.5}, 0.5, 1},  // shared mid-CDF value: first bin of the run has mass
+		{[]float64{0, 0.5, 0, 0.5}, 0.75, 3}, // plain interior draw
+	}
+	for _, c := range cases {
+		cdf := CDF(c.probs)
+		if got := oneBin(cdf, c.u); got != c.want {
+			t.Errorf("oneBin(CDF(%v), %v) = %d, want %d", c.probs, c.u, got, c.want)
+		}
+	}
+}
+
+// TestSearchBinUnchangedFromLegacy re-derives the legacy Counts bin
+// (inline SearchFloat64s + clamp + duplicate-value loop) and checks
+// searchBin against it, so refactors cannot drift the reference
+// semantics the CSV byte-identity contract is anchored to.
+func TestSearchBinUnchangedFromLegacy(t *testing.T) {
+	legacy := func(cdf []float64, u float64) int {
+		k := 0
+		for k < len(cdf) && cdf[k] < u {
+			k++
+		}
+		if k >= len(cdf) {
+			k = len(cdf) - 1
+		}
+		for k < len(cdf)-1 && cdf[k] < u {
+			k++
+		}
+		return k
+	}
+	sc := new(SampleScratch)
+	rng := rand.New(rand.NewPCG(7, 9))
+	for _, probs := range testDistributions() {
+		sc.prepare(probs)
+		for _, u := range adversarialUniforms(sc.cdf) {
+			if got, want := searchBin(sc.cdf, u), legacy(sc.cdf, u); got != want {
+				t.Errorf("probs=%v u=%v: searchBin %d, legacy linear scan %d", probs, u, got, want)
+			}
+		}
+		for i := 0; i < 100; i++ {
+			u := rng.Float64()
+			if got, want := searchBin(sc.cdf, u), legacy(sc.cdf, u); got != want {
+				t.Errorf("probs=%v u=%v: searchBin %d, legacy linear scan %d", probs, u, got, want)
+			}
+		}
+	}
+}

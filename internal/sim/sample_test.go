@@ -2,6 +2,7 @@ package sim_test
 
 import (
 	"math"
+	"math/rand/v2"
 	"testing"
 
 	"qfarith/internal/sim"
@@ -149,5 +150,130 @@ func TestMixInto(t *testing.T) {
 	sim.MixInto(dst, []float64{0.5, 0.5}, 0.2)
 	if math.Abs(dst[0]-0.2) > 1e-12 || math.Abs(dst[1]-0.3) > 1e-12 {
 		t.Errorf("MixInto = %v, want [0.2 0.3]", dst)
+	}
+}
+
+func TestCDFIntoMatchesCDF(t *testing.T) {
+	cases := [][]float64{
+		{1},
+		{0.1, 0.4, 0.0, 0.3, 0.2},
+		{0, 0, 0},
+		{1e-320, 1, 1e-320},
+		{-1e-17, 0.5, 0.5},
+		{0.2002, 0.2002, 0.2, 0.2, 0.2},
+	}
+	buf := make([]float64, 0, 2) // force at least one growth
+	for _, probs := range cases {
+		want := sim.CDF(probs)
+		buf = sim.CDFInto(buf, probs)
+		if len(buf) != len(want) {
+			t.Fatalf("CDFInto length %d, want %d", len(buf), len(want))
+		}
+		for i := range want {
+			if math.Float64bits(buf[i]) != math.Float64bits(want[i]) {
+				t.Errorf("probs=%v: CDFInto[%d] = %v, CDF = %v (bit mismatch)", probs, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+// samplerTestDists mirrors the adversarial gallery of the internal
+// tests at the public API level: zero bins everywhere, point masses,
+// denormal-adjacent weights, drifted normalization.
+func samplerTestDists(rng *rand.Rand) [][]float64 {
+	dists := [][]float64{
+		{1},
+		{0.5, 0.5},
+		{0.1, 0.4, 0.0, 0.3, 0.2},
+		{0, 0, 1, 0},
+		{1, 0, 0, 0},
+		{0, 0, 0, 1},
+		{0.5, 0, 0, 0.5, 0},
+		{0, 0, 0},
+		{1e-320, 1, 1e-320},
+		{5e-324, 5e-324, 1},
+		{0.2002, 0.2002, 0.2, 0.2, 0.2},
+		{-1e-17, 0.5, 0.5},
+	}
+	for _, n := range []int{2, 17, 256, 1024} {
+		probs := make([]float64, n)
+		for i := range probs {
+			if rng.Float64() < 0.4 {
+				continue
+			}
+			probs[i] = rng.Float64()
+		}
+		dists = append(dists, probs)
+	}
+	return dists
+}
+
+// TestCountsIntoMatchesCounts is the histogram-level equality property
+// the bit-exactness contract rests on: for identical seeds, the guide-
+// table and sorted-merge samplers produce count arrays exactly equal to
+// the binary-search reference, across zero bins, point masses, and
+// denormal-adjacent weights.
+func TestCountsIntoMatchesCounts(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 103))
+	sc := sim.GetSampleScratch()
+	defer sim.PutSampleScratch(sc)
+	for di, probs := range samplerTestDists(rng) {
+		for _, shots := range []int{0, 1, 7, 2048} {
+			seed1, seed2 := rng.Uint64(), rng.Uint64()
+			want := sim.NewSampler(seed1, seed2).Counts(probs, shots)
+
+			got := make([]int, len(probs))
+			sim.NewSampler(seed1, seed2).CountsInto(sc, probs, shots, got)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("dist %d shots %d: CountsInto[%d] = %d, Counts = %d", di, shots, i, got[i], want[i])
+				}
+			}
+
+			sim.NewSampler(seed1, seed2).CountsMergeInto(sc, probs, shots, got)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("dist %d shots %d: CountsMergeInto[%d] = %d, Counts = %d", di, shots, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestReseedMatchesFreshSampler pins the pooled-sampler contract: a
+// reseeded sampler's draw stream is bit-identical to a fresh one.
+func TestReseedMatchesFreshSampler(t *testing.T) {
+	s := sim.NewSampler(1, 2)
+	probs := []float64{0.25, 0.25, 0.25, 0.25}
+	_ = s.Counts(probs, 100) // advance the state
+	s.Reseed(42, 43)
+	got := s.Counts(probs, 256)
+	want := sim.NewSampler(42, 43).Counts(probs, 256)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reseeded sampler diverged at bin %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCountsIntoZeroAllocWarm enforces the zero-alloc contract of the
+// pooled sampling stage: with warm scratch buffers, neither sampler
+// variant allocates.
+func TestCountsIntoZeroAllocWarm(t *testing.T) {
+	probs := make([]float64, 256)
+	for i := range probs {
+		probs[i] = 1.0 / 256
+	}
+	s := sim.NewSampler(9, 10)
+	sc := sim.GetSampleScratch()
+	defer sim.PutSampleScratch(sc)
+	out := make([]int, len(probs))
+	s.CountsInto(sc, probs, 2048, out)      // warm the guide/CDF buffers
+	s.CountsMergeInto(sc, probs, 2048, out) // warm the uniform buffer
+	if n := testing.AllocsPerRun(20, func() { s.CountsInto(sc, probs, 2048, out) }); n != 0 {
+		t.Errorf("warm CountsInto allocates %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(20, func() { s.CountsMergeInto(sc, probs, 2048, out) }); n != 0 {
+		t.Errorf("warm CountsMergeInto allocates %v times per run, want 0", n)
 	}
 }

@@ -364,6 +364,19 @@ func (r *Registry) CounterSum(name string) uint64 {
 	return sum
 }
 
+// HistogramSum sums the named histogram's observed totals across every
+// label set — e.g. total seconds spent in a stage regardless of how the
+// stage's spans were labeled.
+func (r *Registry) HistogramSum(name string) float64 {
+	var sum float64
+	for _, m := range r.snapshotMetrics() {
+		if m.kind == kindHistogram && m.name == name {
+			sum += m.hist.Sum()
+		}
+	}
+	return sum
+}
+
 // snapshotMetrics returns the registered metrics in registration order.
 func (r *Registry) snapshotMetrics() []*metric {
 	r.mu.Lock()

@@ -241,3 +241,17 @@ func TestCounterSumAcrossLabels(t *testing.T) {
 		t.Errorf("CounterSum of absent metric = %d, want 0", got)
 	}
 }
+
+func TestHistogramSumAcrossLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("test_stage_seconds", L("stage", "a")).Observe(1.5)
+	r.Histogram("test_stage_seconds", L("stage", "a")).Observe(0.5)
+	r.Histogram("test_stage_seconds", L("stage", "b")).Observe(3)
+	r.Histogram("test_other_seconds").Observe(42)
+	if got := r.HistogramSum("test_stage_seconds"); got != 5 {
+		t.Errorf("HistogramSum = %g, want 5", got)
+	}
+	if got := r.HistogramSum("test_absent_seconds"); got != 0 {
+		t.Errorf("HistogramSum of absent metric = %g, want 0", got)
+	}
+}
