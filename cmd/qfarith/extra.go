@@ -124,6 +124,7 @@ func runAblateRouting(args []string) {
 	batch := fs.Int("batch", 0, "trajectories per SoA batch (trajectory-batch backend; 0 = auto)")
 	rundir := fs.String("rundir", "", "durable run directory (per-topology checkpoints)")
 	resume := fs.Bool("resume", false, "resume the run in -rundir, skipping checkpointed topologies")
+	shardStr := fs.String("shard", "", "run shard i/N of the topologies (requires -rundir, merge with merge-runs)")
 	var cf compileFlags
 	cf.register(fs)
 	var prof profiler
@@ -132,6 +133,11 @@ func runAblateRouting(args []string) {
 	telem.register(fs)
 	fs.Parse(args)
 	defer prof.start()()
+	shard, err := experiment.ParseShard(*shardStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(2)
+	}
 	ctx, stop := sweepContext()
 	defer stop()
 	runner := newRunnerOrExit(*backendName, *workers, *batch)
@@ -145,10 +151,23 @@ func runAblateRouting(args []string) {
 		RowSeed: 1001, PointSeed: 1002,
 		Pipeline: cf.config(),
 	}
+	topos := []struct {
+		name string
+		cm   *layout.CouplingMap
+	}{
+		{"heavy-hex (Falcon 27)", layout.HeavyHexFalcon27()},
+		{"grid 3x5", layout.Grid(3, 5)},
+		{"linear chain", layout.Linear(15)},
+	}
+	keys := []string{"all-to-all"}
+	for _, tp := range topos {
+		keys = append(keys, tp.name)
+	}
 	// Routed points are the slowest single points in the suite, so the
 	// topology loop checkpoints per topology when -rundir is given.
-	sfr := sweepFlags{rundir: *rundir, resume: *resume, backend: *backendName}
-	run := sfr.openRun("ablate-routing", cfg)
+	sfr := sweepFlags{rundir: *rundir, resume: *resume, backend: *backendName,
+		shard: shard, pipeline: cfg.Pipeline}
+	run := sfr.openRun("ablate-routing", cfg, keys)
 	snapDir := ""
 	if run != nil {
 		snapDir = run.Dir()
@@ -161,27 +180,35 @@ func runAblateRouting(args []string) {
 	fmt.Printf("E7 — qubit-connectivity ablation (QFA n=8, d=3, 1:2, λ1=0.2%%, λ2=%.2f%%)\n", *p2*100)
 	fmt.Printf("%-22s %10s %10s %12s %12s\n", "topology", "CX", "swaps", "w0", "success")
 
-	base, err := experiment.RunPointCkptCtx(ctx, runner, cfg, "all-to-all", ck)
-	if err != nil {
-		exitSweepErr(err, run)
-	}
-	fmt.Printf("%-22s %10d %10s %12.4f %11.1f%%\n", "all-to-all (paper)", base.Native2q, "-", base.NoErrorProb, base.Stats.SuccessRate)
-
-	topos := []struct {
-		name string
-		cm   *layout.CouplingMap
-	}{
-		{"heavy-hex (Falcon 27)", layout.HeavyHexFalcon27()},
-		{"grid 3x5", layout.Grid(3, 5)},
-		{"linear chain", layout.Linear(15)},
+	var base experiment.PointResult
+	haveBase := false
+	if shard.Owns("all-to-all") {
+		base, err = experiment.RunPointCkptCtx(ctx, runner, cfg, "all-to-all", ck)
+		if err != nil {
+			exitSweepErr(err, run)
+		}
+		haveBase = true
+		fmt.Printf("%-22s %10d %10s %12.4f %11.1f%%\n", "all-to-all (paper)", base.Native2q, "-", base.NoErrorProb, base.Stats.SuccessRate)
 	}
 	for _, tp := range topos {
+		if !shard.Owns(tp.name) {
+			continue
+		}
 		r, err := experiment.RunRoutedPointCkptCtx(ctx, runner, cfg, tp.cm, tp.name, ck)
 		if err != nil {
 			exitSweepErr(err, run)
 		}
-		swaps := (r.Native2q - base.Native2q) / 3
-		fmt.Printf("%-22s %10d %10d %12.4f %11.1f%%\n", tp.name, r.Native2q, swaps, r.NoErrorProb, r.Stats.SuccessRate)
+		// Swap counting needs the unrouted baseline, which may belong to
+		// another shard; the merged run reports it after a resume.
+		swaps := "-"
+		if haveBase {
+			swaps = fmt.Sprintf("%d", (r.Native2q-base.Native2q)/3)
+		}
+		fmt.Printf("%-22s %10d %10s %12.4f %11.1f%%\n", tp.name, r.Native2q, swaps, r.NoErrorProb, r.Stats.SuccessRate)
+	}
+	if shard.Enabled() {
+		fmt.Printf("shard %s complete: merge with `qfarith merge-runs -out MERGED %s ...`, then resume the merged run for the full table\n",
+			shard, run.Dir())
 	}
 }
 
@@ -200,6 +227,9 @@ func runScaling(args []string) {
 		"execution backend: "+strings.Join(backend.Names(), "|")+" (density caps n at 5)")
 	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	batch := fs.Int("batch", 0, "trajectories per SoA batch (trajectory-batch backend; 0 = auto)")
+	rundir := fs.String("rundir", "", "durable run directory (per-point checkpoints)")
+	resume := fs.Bool("resume", false, "resume the run in -rundir, skipping checkpointed points")
+	shardStr := fs.String("shard", "", "run shard i/N of the grid (requires -rundir, merge with merge-runs)")
 	var cf compileFlags
 	cf.register(fs)
 	var prof profiler
@@ -208,7 +238,11 @@ func runScaling(args []string) {
 	telem.register(fs)
 	fs.Parse(args)
 	defer prof.start()()
-	defer telem.start("")()
+	shard, err := experiment.ParseShard(*shardStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(2)
+	}
 	pcfg := cf.config()
 	ctx, stop := sweepContext()
 	defer stop()
@@ -226,19 +260,66 @@ func runScaling(args []string) {
 		fmt.Sscanf(strings.TrimSpace(tok), "%g", &p)
 		p2s = append(p2s, p/100)
 	}
-
-	fmt.Printf("E10 — register-width scaling (1:2 QFA, %d instances, %d traj)\n", *instances, *traj)
-	fmt.Printf("%-4s %-8s %-28s %-10s %-10s\n", "n", "λ2q%", "success by depth 1,2,3,…,full", "best", "log2(n)")
-	for _, n := range ns {
+	scalingDepths := func(n int) []int {
 		depths := []int{1, 2, 3}
 		if n > 4 {
 			depths = append(depths, 4)
 		}
-		depths = append(depths, qft.Full)
-		for _, p2 := range p2s {
+		return append(depths, qft.Full)
+	}
+	scalingKey := func(n, rateIdx, depthIdx int) string {
+		return fmt.Sprintf("scaling/n%02d/r%02d/d%02d", n, rateIdx, depthIdx)
+	}
+	// The hashed identity of a scaling sweep mirrors sweepSpec: every
+	// field that determines point results, nothing that only schedules.
+	type scalingSpec struct {
+		Command   string
+		Ns        []int
+		Rates     []float64
+		Instances int
+		Shots     int
+		Traj      int
+		Backend   string
+		Pipeline  string
+	}
+	spec := scalingSpec{Command: "scaling", Ns: ns, Rates: p2s,
+		Instances: *instances, Shots: *shots, Traj: *traj,
+		Backend: *backendName, Pipeline: pcfg.Hash()}
+	var keys []string
+	for _, n := range ns {
+		for ri := range p2s {
+			for di := range scalingDepths(n) {
+				keys = append(keys, scalingKey(n, ri, di))
+			}
+		}
+	}
+	sfr := sweepFlags{rundir: *rundir, resume: *resume, backend: *backendName,
+		shard: shard, pipeline: pcfg}
+	run := sfr.openRun("scaling", spec, keys)
+	snapDir := ""
+	if run != nil {
+		snapDir = run.Dir()
+	}
+	defer telem.start(snapDir)()
+	var ck experiment.CheckpointStore
+	if run != nil {
+		ck = run
+	}
+
+	fmt.Printf("E10 — register-width scaling (1:2 QFA, %d instances, %d traj)\n", *instances, *traj)
+	fmt.Printf("%-4s %-8s %-28s %-10s %-10s\n", "n", "λ2q%", "success by depth 1,2,3,…,full", "best", "log2(n)")
+	for _, n := range ns {
+		depths := scalingDepths(n)
+		for ri, p2 := range p2s {
 			var cells []string
 			best, bestS := 0, -1.0
-			for _, d := range depths {
+			for di, d := range depths {
+				key := scalingKey(n, ri, di)
+				if !shard.Owns(key) {
+					// Owned by another shard: shown after merge + resume.
+					cells = append(cells, "·")
+					continue
+				}
 				cfg := experiment.PointConfig{
 					Geometry: experiment.AddGeometry(n-1, n),
 					Depth:    d,
@@ -249,18 +330,26 @@ func runScaling(args []string) {
 					PointSeed: splitMix(78, uint64(n)<<16|uint64(d)<<8|uint64(p2*1000)),
 					Pipeline:  pcfg,
 				}
-				r, err := experiment.RunPointCtx(ctx, runner, cfg)
+				r, err := experiment.RunPointCkptCtx(ctx, runner, cfg, key, ck)
 				if err != nil {
-					exitSweepErr(err, nil)
+					exitSweepErr(err, run)
 				}
 				cells = append(cells, fmt.Sprintf("%.0f", r.Stats.SuccessRate))
 				if r.Stats.SuccessRate > bestS {
 					bestS, best = r.Stats.SuccessRate, d
 				}
 			}
+			bestLabel := "-"
+			if bestS >= 0 {
+				bestLabel = experiment.DepthLabel(best, n)
+			}
 			fmt.Printf("%-4d %-8.1f %-28s %-10s %-10.1f\n", n, p2*100,
-				strings.Join(cells, "/"), experiment.DepthLabel(best, n), math.Log2(float64(n)))
+				strings.Join(cells, "/"), bestLabel, math.Log2(float64(n)))
 		}
+	}
+	if shard.Enabled() {
+		fmt.Printf("shard %s complete: merge with `qfarith merge-runs -out MERGED %s ...`, then resume the merged run for the full table\n",
+			shard, run.Dir())
 	}
 }
 

@@ -71,6 +71,8 @@ func main() {
 		runScaling(args)
 	case "shor":
 		runShor(args)
+	case "merge-runs":
+		runMergeRuns(args)
 	default:
 		usage()
 		exit(2)
@@ -78,7 +80,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qfarith <table1|fig3|fig4|claim-2q|ablate-addcut|ablate-routing|scaling|shor|report|demo|qasm|thermal> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qfarith <table1|fig3|fig4|claim-2q|ablate-addcut|ablate-routing|scaling|shor|merge-runs|report|demo|qasm|thermal> [flags]")
 }
 
 // ---------------------------------------------------------------- table1
@@ -133,6 +135,7 @@ type sweepFlags struct {
 	batch     int
 	rundir    string
 	resume    bool
+	shard     experiment.Shard
 	pipeline  compile.Config
 	prof      profiler
 	telem     telemetryFlags
@@ -222,11 +225,18 @@ func (sf sweepFlags) spec(command string, geo experiment.Geometry, depths []int)
 
 // openRun creates (or, with -resume, reopens and hash-verifies) the
 // sweep's durable run directory and registers its checkpoint log with
-// the exit path. Returns nil when -rundir is unset.
-func (sf sweepFlags) openRun(command string, spec any) *runstore.Run {
+// the exit path. Returns nil when -rundir is unset. keys is the full
+// grid's checkpoint-key list (all shards record the same full list);
+// it and the sweep spec are written as sidecars so merge-runs can
+// detect gaps and regenerate final CSVs without re-deriving the grid.
+func (sf sweepFlags) openRun(command string, spec any, keys []string) *runstore.Run {
 	if sf.rundir == "" {
 		if sf.resume {
 			fmt.Fprintln(os.Stderr, "-resume requires -rundir")
+			exit(2)
+		}
+		if sf.shard.Enabled() {
+			fmt.Fprintln(os.Stderr, "-shard requires -rundir (shard outputs are merged from run directories)")
 			exit(2)
 		}
 		return nil
@@ -239,22 +249,46 @@ func (sf sweepFlags) openRun(command string, spec any) *runstore.Run {
 	var run *runstore.Run
 	if sf.resume {
 		run, err = runstore.Resume(sf.rundir, hash)
+		if err == nil && run.Manifest().Shard != sf.shard.String() {
+			fmt.Fprintf(os.Stderr, "run %s was started as shard %q, current -shard is %q (refusing to change the partition mid-run)\n",
+				run.Dir(), run.Manifest().Shard, sf.shard.String())
+			exit(1)
+		}
 	} else {
 		run, err = runstore.Create(sf.rundir, runstore.Manifest{
 			Command: command, ConfigHash: hash, Seed: sf.seed,
 			Backend: sf.backend, Pipeline: sf.pipeline.Hash(),
 			GitDescribe: runstore.GitDescribe("."),
 			StartTime:   time.Now().UTC(),
+			Shard:       sf.shard.String(),
 		})
+		if err == nil {
+			if serr := runstore.WriteSpec(run.Dir(), spec); serr != nil {
+				fmt.Fprintln(os.Stderr, serr)
+				exit(1)
+			}
+			if serr := runstore.WriteExpectedKeys(run.Dir(), keys); serr != nil {
+				fmt.Fprintln(os.Stderr, serr)
+				exit(1)
+			}
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		exit(1)
 	}
 	onExit(func() { run.Close() })
-	if sf.resume {
+	if sf.shard.Enabled() {
+		telemetryShard(sf.shard)
+	}
+	switch {
+	case sf.resume && sf.shard.Enabled():
+		fmt.Printf("resuming shard %s run %s: %d checkpointed points restored\n", sf.shard, run.Dir(), run.Restored())
+	case sf.resume:
 		fmt.Printf("resuming run %s: %d checkpointed points restored\n", run.Dir(), run.Restored())
-	} else {
+	case sf.shard.Enabled():
+		fmt.Printf("run dir %s (config %s, shard %s of the grid)\n", run.Dir(), hash, sf.shard)
+	default:
 		fmt.Printf("run dir %s (config %s)\n", run.Dir(), hash)
 	}
 	return run
@@ -277,6 +311,7 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 	batch := fs.Int("batch", 0, "trajectories simulated per SoA batch (trajectory-batch backend; 0 = auto-size to cache)")
 	rundir := fs.String("rundir", "", "durable run directory: manifest + per-point checkpoint log; artifacts land here")
 	resume := fs.Bool("resume", false, "resume the run in -rundir, skipping checkpointed points")
+	shardStr := fs.String("shard", "", "run shard i/N of the grid (e.g. 0/3): only points whose key hashes to i mod N; requires -rundir, merge with merge-runs")
 	sampler := fs.String("sampler", experiment.SamplerMode(),
 		"shot-sampling stage: fast|legacy (bit-identical; legacy kept for equivalence checks)")
 	var cf compileFlags
@@ -288,6 +323,15 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 	fs.Parse(args)
 	if *resume && *rundir == "" {
 		fmt.Fprintln(os.Stderr, "-resume requires -rundir")
+		exit(2)
+	}
+	shard, err := experiment.ParseShard(*shardStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(2)
+	}
+	if shard.Enabled() && *rundir == "" {
+		fmt.Fprintln(os.Stderr, "-shard requires -rundir (shard outputs are merged from run directories)")
 		exit(2)
 	}
 	if err := experiment.SetSamplerMode(*sampler); err != nil {
@@ -322,7 +366,8 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 	sf := sweepFlags{budget: b, outDir: *out, seed: *seed,
 		rates1q: experiment.PaperRates1Q, rates2q: experiment.PaperRates2Q,
 		backend: *backendName, workers: *workers, batch: *batch,
-		rundir: *rundir, resume: *resume, pipeline: pcfg, prof: prof, telem: telem}
+		rundir: *rundir, resume: *resume, shard: shard,
+		pipeline: pcfg, prof: prof, telem: telem}
 	if *rates != "" {
 		var grid []float64
 		for _, tok := range strings.Split(*rates, ",") {
@@ -417,7 +462,34 @@ func printPassStats(c *backend.TranspileCache) {
 func runFigure(args []string, geo experiment.Geometry, depths []int, name string) {
 	sf := parseSweepFlags(args, name)
 	defer sf.prof.start()()
-	run := sf.openRun(name, sf.spec(name, geo, depths))
+	// The panel set — and with it the full grid's checkpoint keys — is
+	// fixed before anything runs, so the key list can be recorded for
+	// merge-time gap detection and shard ownership filtering.
+	type panelJob struct {
+		label string
+		pc    experiment.PanelConfig
+	}
+	var panels []panelJob
+	var allKeys []string
+	for _, orders := range sf.orderSets {
+		for _, axis := range sf.axes {
+			rates := sf.rates1q
+			if axis == experiment.Axis2Q {
+				rates = sf.rates2q
+			}
+			pc := experiment.PanelConfig{
+				Geometry: geo, Axis: axis,
+				OrderX: orders[0], OrderY: orders[1],
+				Rates: rates, Depths: depths,
+				Budget: sf.budget, Seed: sf.seed,
+				Pipeline: sf.pipeline,
+			}
+			label := fmt.Sprintf("%s_%s_%d%d", name, axis, orders[0], orders[1])
+			panels = append(panels, panelJob{label: label, pc: pc})
+			allKeys = append(allKeys, pc.Keys(label)...)
+		}
+	}
+	run := sf.openRun(name, sf.spec(name, geo, depths), allKeys)
 	artifactDir := sf.outDir
 	if run != nil {
 		artifactDir = run.Dir()
@@ -436,63 +508,56 @@ func runFigure(args []string, geo experiment.Geometry, depths []int, name string
 	runner := sf.runner()
 	fmt.Printf("backend=%s workers=%d\n", runner.Backend().Name(), runner.Workers())
 	start := time.Now()
-	totalPts := 0
-	for range sf.orderSets {
-		for _, axis := range sf.axes {
-			rates := sf.rates1q
-			if axis == experiment.Axis2Q {
-				rates = sf.rates2q
-			}
-			totalPts += len(rates) * len(depths)
-		}
-	}
-	tracker := newSweepTracker(totalPts)
+	tracker := newSweepTracker(len(sf.shard.OwnedKeys(allKeys)))
 	defer tracker.stop()
-	for _, orders := range sf.orderSets {
-		for _, axis := range sf.axes {
-			rates := sf.rates1q
-			if axis == experiment.Axis2Q {
-				rates = sf.rates2q
-			}
-			pc := experiment.PanelConfig{
-				Geometry: geo, Axis: axis,
-				OrderX: orders[0], OrderY: orders[1],
-				Rates: rates, Depths: depths,
-				Budget: sf.budget, Seed: sf.seed,
-				Pipeline: sf.pipeline,
-			}
-			label := fmt.Sprintf("%s_%s_%d%d", name, axis, orders[0], orders[1])
-			fmt.Printf("== panel %s (%d rates x %d depths) ==\n", label, len(rates), len(depths))
-			progress := func(p experiment.Progress) {
-				tracker.observe(p)
-				if p.FromCheckpoint {
-					// openRun already announced the restored total; a line
-					// per restored cell would just scroll the terminal.
-					return
-				}
-				fmt.Printf("  [%s %3d/%d] rate=%.2f%% d=%-4s -> %.1f%% success (elapsed %s)\n",
-					label, p.Done, p.Total, pointRate(p.Point)*100,
-					experiment.DepthLabel(p.Point.Config.Depth, 8),
-					p.Point.Stats.SuccessRate, time.Since(start).Round(time.Second))
-			}
-			var res experiment.PanelResult
-			var err error
-			if run != nil {
-				res, err = experiment.RunPanelCheckpointCtx(ctx, runner, pc, label, run, progress)
-			} else {
-				res, err = experiment.RunPanelCtx(ctx, runner, pc, progress)
-			}
-			if err != nil {
-				exitSweepErr(err, run)
-			}
-			path := filepath.Join(artifactDir, label+".csv")
-			if err := runstore.WriteArtifact(path, []byte(res.CSV())); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				exit(1)
-			}
-			fmt.Println(res.Table())
-			fmt.Println(res.Plot())
+	for _, pj := range panels {
+		label, pc := pj.label, pj.pc
+		owned := len(sf.shard.OwnedKeys(pc.Keys(label)))
+		if sf.shard.Enabled() {
+			fmt.Printf("== panel %s (%d rates x %d depths; shard %s owns %d) ==\n",
+				label, len(pc.Rates), len(pc.Depths), sf.shard, owned)
+		} else {
+			fmt.Printf("== panel %s (%d rates x %d depths) ==\n", label, len(pc.Rates), len(pc.Depths))
 		}
+		progress := func(p experiment.Progress) {
+			tracker.observe(p)
+			if p.FromCheckpoint {
+				// openRun already announced the restored total; a line
+				// per restored cell would just scroll the terminal.
+				return
+			}
+			fmt.Printf("  [%s %3d/%d] rate=%.2f%% d=%-4s -> %.1f%% success (elapsed %s)\n",
+				label, p.Done, p.Total, pointRate(p.Point)*100,
+				experiment.DepthLabel(p.Point.Config.Depth, 8),
+				p.Point.Stats.SuccessRate, time.Since(start).Round(time.Second))
+		}
+		var res experiment.PanelResult
+		var err error
+		if run != nil {
+			res, err = experiment.RunPanelShardCheckpointCtx(ctx, runner, pc, label, sf.shard, run, progress)
+		} else {
+			res, err = experiment.RunPanelCtx(ctx, runner, pc, progress)
+		}
+		if err != nil {
+			exitSweepErr(err, run)
+		}
+		if sf.shard.Enabled() {
+			// A shard's grid is partial by construction: writing a CSV
+			// with zero rows for unowned cells would only mislead.
+			// merge-runs regenerates the full CSVs from the union.
+			continue
+		}
+		path := filepath.Join(artifactDir, label+".csv")
+		if err := runstore.WriteArtifact(path, []byte(res.CSV())); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(1)
+		}
+		fmt.Println(res.Table())
+		fmt.Println(res.Plot())
+	}
+	if sf.shard.Enabled() {
+		fmt.Printf("shard %s complete: %d points checkpointed in %s; merge with `qfarith merge-runs -out MERGED %s ...`\n",
+			sf.shard, len(sf.shard.OwnedKeys(allKeys)), run.Dir(), run.Dir())
 	}
 	hits, misses := runner.Cache().Stats()
 	fmt.Printf("transpile cache: %d built, %d reused\n", misses, hits)
@@ -520,11 +585,20 @@ func pointRate(r experiment.PointResult) float64 {
 func runClaim2Q(args []string) {
 	sf := parseSweepFlags(args, "claim-2q")
 	defer sf.prof.start()()
+	if sf.shard.Enabled() {
+		fmt.Fprintln(os.Stderr, "claim-2q does not support -shard (its summary needs the full grid); shard fig3/fig4/scaling/ablate-routing instead")
+		exit(2)
+	}
 	geo := experiment.PaperAddGeometry()
 	rates := []float64{0.007, 0.010}
 	sf.rates1q, sf.rates2q = rates, rates
 	sf.orderSets = [][2]int{{1, 2}, {2, 2}}
-	run := sf.openRun("claim-2q", sf.spec("claim-2q", geo, experiment.AddDepths))
+	var allKeys []string
+	for _, orders := range sf.orderSets {
+		pc := experiment.PanelConfig{Rates: rates, Depths: experiment.AddDepths}
+		allKeys = append(allKeys, pc.Keys(fmt.Sprintf("claim2q_%d%d", orders[0], orders[1]))...)
+	}
+	run := sf.openRun("claim-2q", sf.spec("claim-2q", geo, experiment.AddDepths), allKeys)
 	snapDir := ""
 	if run != nil {
 		snapDir = run.Dir()
@@ -576,6 +650,10 @@ func runClaim2Q(args []string) {
 func runAblateAddCut(args []string) {
 	sf := parseSweepFlags(args, "ablate-addcut")
 	defer sf.prof.start()()
+	if sf.shard.Enabled() {
+		fmt.Fprintln(os.Stderr, "ablate-addcut does not support -shard")
+		exit(2)
+	}
 	defer sf.telem.start("")()
 	ctx, stop := sweepContext()
 	defer stop()

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"qfarith/internal/experiment"
+	"qfarith/internal/runstore"
+)
+
+// runMergeRuns implements the merge-runs subcommand: union the
+// checkpoint logs of shard run directories into one run directory,
+// verify they belong to the same sweep (config hash), report benign
+// overlaps and grid gaps, and — when the shards carry a fig3/fig4
+// sweep spec — regenerate the final CSVs, byte-identical to what an
+// unsharded run of the same configuration writes.
+//
+//	qfarith merge-runs -out merged runs/shard0 runs/shard1 runs/shard2
+func runMergeRuns(args []string) {
+	fs := flag.NewFlagSet("merge-runs", flag.ExitOnError)
+	out := fs.String("out", "", "destination run directory for the merged run (must not already hold a run)")
+	fs.Parse(args)
+	srcs := fs.Args()
+	if *out == "" || len(srcs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: qfarith merge-runs -out DIR SHARD_DIR [SHARD_DIR...]")
+		exit(2)
+	}
+
+	report, err := runstore.MergeRuns(*out, srcs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(1)
+	}
+	fmt.Printf("merged %d shard(s) into %s: %d points", len(report.Shards), *out, report.Points)
+	if report.Overlaps > 0 {
+		fmt.Printf(", %d overlapping key(s) with identical payloads", report.Overlaps)
+	}
+	fmt.Println()
+	if len(report.Gaps) > 0 {
+		fmt.Printf("WARNING: %d grid point(s) missing from the union:\n", len(report.Gaps))
+		for i, key := range report.Gaps {
+			if i == 10 {
+				fmt.Printf("  ... and %d more\n", len(report.Gaps)-10)
+				break
+			}
+			fmt.Printf("  %s\n", key)
+		}
+		fmt.Printf("run the missing shard(s), or resume the merged run to compute the gaps:\n  qfarith <command> <same flags> -rundir %s -resume\n", *out)
+		exit(1)
+	}
+
+	// Final-CSV regeneration needs the recorded sweep spec; run
+	// directories created before spec sidecars existed merge fine but
+	// re-render through a resume instead.
+	var spec sweepSpec
+	ok, err := runstore.ReadSpec(*out, &spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(1)
+	}
+	if !ok {
+		fmt.Printf("no sweep spec recorded; re-render outputs by resuming:\n  qfarith <command> <same flags> -rundir %s -resume\n", *out)
+		return
+	}
+	if spec.Command != "fig3" && spec.Command != "fig4" {
+		fmt.Printf("merged %s run; re-render its output by resuming:\n  qfarith %s <same flags> -rundir %s -resume\n", spec.Command, spec.Command, *out)
+		return
+	}
+	run, err := runstore.Resume(*out, "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(1)
+	}
+	onExit(func() { run.Close() })
+	for _, orders := range spec.Orders {
+		for _, axis := range spec.Axes {
+			rates := spec.Rates1Q
+			if axis == experiment.Axis2Q {
+				rates = spec.Rates2Q
+			}
+			pc := experiment.PanelConfig{
+				Geometry: spec.Geometry, Axis: axis,
+				OrderX: orders[0], OrderY: orders[1],
+				Rates: rates, Depths: spec.Depths,
+				Budget: experiment.Budget{Instances: spec.Instances, Shots: spec.Shots, Trajectories: spec.Traj},
+				Seed:   spec.Seed,
+			}
+			label := fmt.Sprintf("%s_%s_%d%d", spec.Command, axis, orders[0], orders[1])
+			res, err := experiment.PanelFromCheckpoints(pc, label, run)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				exit(1)
+			}
+			path := filepath.Join(*out, label+".csv")
+			if err := runstore.WriteArtifact(path, []byte(res.CSV())); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}

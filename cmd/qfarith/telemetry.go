@@ -66,6 +66,14 @@ func (tf *telemetryFlags) start(snapshotDir string) func() {
 	return stop
 }
 
+// telemetryShard publishes the shard identity as gauges, so the
+// /metrics endpoints of a fleet of shard workers are distinguishable
+// without scraping their command lines.
+func telemetryShard(s experiment.Shard) {
+	telemetry.Default().Gauge("qfarith_shard_index").Set(int64(s.Index))
+	telemetry.Default().Gauge("qfarith_shard_count").Set(int64(s.Count))
+}
+
 // trackerInterval paces the periodic sweep progress line.
 const trackerInterval = 15 * time.Second
 

@@ -49,7 +49,7 @@ func decodePoint(key string, raw json.RawMessage) (PointResult, error) {
 // count toward Progress.Restored (never Fresh), so trackers can report
 // them without folding their near-zero latency into rate estimates.
 func RunPanelCheckpointCtx(ctx context.Context, r *backend.Runner, cfg PanelConfig, panel string, ck CheckpointStore, progress ProgressFunc) (PanelResult, error) {
-	return runPanel(ctx, r, cfg, panel, ck, progress)
+	return runPanel(ctx, r, cfg, panel, Shard{}, ck, progress)
 }
 
 // RunPointCkptCtx is RunPointCtx behind a checkpoint: if key is already

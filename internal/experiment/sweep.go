@@ -179,18 +179,23 @@ func RunPanel(cfg PanelConfig, progress ProgressFunc) PanelResult {
 // Cancelling ctx stops the sweep mid-grid: no new instances are
 // scheduled, in-flight instances drain, and ctx.Err() is returned.
 func RunPanelCtx(ctx context.Context, r *backend.Runner, cfg PanelConfig, progress ProgressFunc) (PanelResult, error) {
-	return runPanel(ctx, r, cfg, "", nil, progress)
+	return runPanel(ctx, r, cfg, "", Shard{}, nil, progress)
 }
 
 // runPanel is the shared panel core: the plain path (ck == nil) and
 // the durable checkpoint/resume path (RunPanelCheckpointCtx) differ
-// only in whether cells are restored from / recorded into ck.
-func runPanel(ctx context.Context, r *backend.Runner, cfg PanelConfig, panel string, ck CheckpointStore, progress ProgressFunc) (PanelResult, error) {
+// only in whether cells are restored from / recorded into ck. A shard
+// with Count > 1 restricts the sweep to the cells it owns; unowned
+// cells stay zero in the result and are excluded from Progress.Total.
+func runPanel(ctx context.Context, r *backend.Runner, cfg PanelConfig, panel string, shard Shard, ck CheckpointStore, progress ProgressFunc) (PanelResult, error) {
 	out := PanelResult{Config: cfg, Points: make([][]PointResult, len(cfg.Rates))}
 	for i := range out.Points {
 		out.Points[i] = make([]PointResult, len(cfg.Depths))
 	}
 	total := len(cfg.Rates) * len(cfg.Depths)
+	if shard.Enabled() {
+		total = len(shard.OwnedKeys(cfg.Keys(panel)))
+	}
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -202,8 +207,13 @@ func runPanel(ctx context.Context, r *backend.Runner, cfg PanelConfig, panel str
 	for i, rate := range cfg.Rates {
 		for j, d := range cfg.Depths {
 			key := ""
-			if ck != nil {
+			if ck != nil || shard.Enabled() {
 				key = PointKey(panel, i, j)
+			}
+			if shard.Enabled() && !shard.Owns(key) {
+				continue
+			}
+			if ck != nil {
 				if raw, ok := ck.LookupPoint(key); ok {
 					pr, err := decodePoint(key, raw)
 					if err != nil {

@@ -1,0 +1,178 @@
+package runstore_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qfarith/internal/runstore"
+)
+
+// shardDir creates a run directory holding the given key→value points
+// under the given config hash and shard mark.
+func shardDir(t *testing.T, root, name, hash, shard string, points map[string]int) string {
+	t.Helper()
+	dir := filepath.Join(root, name)
+	m := testManifest(hash)
+	m.Shard = shard
+	run, err := runstore.Create(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	for key, v := range points {
+		if err := run.AppendPoint(key, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestMergeRunsUnionsShards(t *testing.T) {
+	root := t.TempDir()
+	s0 := shardDir(t, root, "s0", "cfg", "0/3", map[string]int{"p/r00/d00": 1, "p/r01/d01": 4})
+	s1 := shardDir(t, root, "s1", "cfg", "1/3", map[string]int{"p/r00/d01": 2})
+	s2 := shardDir(t, root, "s2", "cfg", "2/3", map[string]int{"p/r01/d00": 3})
+	if err := runstore.WriteExpectedKeys(s0, []string{"p/r00/d00", "p/r00/d01", "p/r01/d00", "p/r01/d01"}); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := filepath.Join(root, "merged")
+	report, err := runstore.MergeRuns(dst, []string{s0, s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Points != 4 {
+		t.Errorf("merged points = %d, want 4", report.Points)
+	}
+	if report.Overlaps != 0 {
+		t.Errorf("overlaps = %d, want 0", report.Overlaps)
+	}
+	if len(report.Gaps) != 0 {
+		t.Errorf("gaps = %v, want none", report.Gaps)
+	}
+
+	merged, err := runstore.Resume(dst, "cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer merged.Close()
+	if got := merged.Restored(); got != 4 {
+		t.Errorf("merged run restored %d points, want 4", got)
+	}
+	if m := merged.Manifest(); m.Shard != "" {
+		t.Errorf("merged manifest still carries shard mark %q", m.Shard)
+	}
+	for key, want := range map[string]int{"p/r00/d00": 1, "p/r00/d01": 2, "p/r01/d00": 3, "p/r01/d01": 4} {
+		raw, ok := merged.LookupPoint(key)
+		if !ok {
+			t.Fatalf("merged run lost point %s", key)
+		}
+		var got int
+		if err := json.Unmarshal(raw, &got); err != nil || got != want {
+			t.Errorf("point %s = %s (err %v), want %d", key, raw, err, want)
+		}
+	}
+	// The expected-key sidecar must carry over for later gap checks.
+	keys, err := runstore.ReadExpectedKeys(dst)
+	if err != nil || len(keys) != 4 {
+		t.Errorf("merged keys sidecar = %v (err %v), want the 4 expected keys", keys, err)
+	}
+}
+
+func TestMergeRunsDeterministicAcrossArgumentOrder(t *testing.T) {
+	root := t.TempDir()
+	s0 := shardDir(t, root, "s0", "cfg", "0/2", map[string]int{"b": 2, "d": 4})
+	s1 := shardDir(t, root, "s1", "cfg", "1/2", map[string]int{"a": 1, "c": 3})
+	dstA := filepath.Join(root, "ab")
+	dstB := filepath.Join(root, "ba")
+	if _, err := runstore.MergeRuns(dstA, []string{s0, s1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runstore.MergeRuns(dstB, []string{s1, s0}); err != nil {
+		t.Fatal(err)
+	}
+	logA := readFile(t, filepath.Join(dstA, "points.jsonl"))
+	logB := readFile(t, filepath.Join(dstB, "points.jsonl"))
+	if logA != logB {
+		t.Errorf("merged logs differ by shard argument order:\n%s\nvs\n%s", logA, logB)
+	}
+}
+
+func TestMergeRunsRefusesConfigHashMismatch(t *testing.T) {
+	root := t.TempDir()
+	s0 := shardDir(t, root, "s0", "cfg-a", "0/2", map[string]int{"a": 1})
+	s1 := shardDir(t, root, "s1", "cfg-b", "1/2", map[string]int{"b": 2})
+	_, err := runstore.MergeRuns(filepath.Join(root, "merged"), []string{s0, s1})
+	if err == nil {
+		t.Fatal("MergeRuns accepted shards with different config hashes")
+	}
+	if !strings.Contains(err.Error(), "hash mismatch") {
+		t.Errorf("error does not name the hash mismatch: %v", err)
+	}
+}
+
+func TestMergeRunsAcceptsIdenticalOverlap(t *testing.T) {
+	root := t.TempDir()
+	// Both shards completed the same point (e.g. an operator re-ran a
+	// shard unsharded): payloads are deterministic, so identical copies
+	// are benign and counted, not fatal.
+	s0 := shardDir(t, root, "s0", "cfg", "", map[string]int{"a": 1, "b": 2})
+	s1 := shardDir(t, root, "s1", "cfg", "", map[string]int{"b": 2, "c": 3})
+	report, err := runstore.MergeRuns(filepath.Join(root, "merged"), []string{s0, s1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Points != 3 || report.Overlaps != 1 {
+		t.Errorf("points=%d overlaps=%d, want 3 and 1", report.Points, report.Overlaps)
+	}
+}
+
+func TestMergeRunsRefusesDivergentOverlap(t *testing.T) {
+	root := t.TempDir()
+	s0 := shardDir(t, root, "s0", "cfg", "", map[string]int{"a": 1})
+	s1 := shardDir(t, root, "s1", "cfg", "", map[string]int{"a": 99})
+	dst := filepath.Join(root, "merged")
+	_, err := runstore.MergeRuns(dst, []string{s0, s1})
+	if err == nil {
+		t.Fatal("MergeRuns accepted shards holding different payloads for the same key")
+	}
+	if !strings.Contains(err.Error(), `"a"`) {
+		t.Errorf("error does not name the divergent key: %v", err)
+	}
+}
+
+func TestMergeRunsReportsGaps(t *testing.T) {
+	root := t.TempDir()
+	s0 := shardDir(t, root, "s0", "cfg", "0/2", map[string]int{"a": 1})
+	if err := runstore.WriteExpectedKeys(s0, []string{"a", "b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	report, err := runstore.MergeRuns(filepath.Join(root, "merged"), []string{s0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Gaps) != 2 || report.Gaps[0] != "b" || report.Gaps[1] != "c" {
+		t.Errorf("gaps = %v, want [b c]", report.Gaps)
+	}
+}
+
+func TestMergeRunsRefusesOccupiedDestination(t *testing.T) {
+	root := t.TempDir()
+	s0 := shardDir(t, root, "s0", "cfg", "", map[string]int{"a": 1})
+	dst := shardDir(t, root, "dst", "cfg", "", nil)
+	if _, err := runstore.MergeRuns(dst, []string{s0}); err == nil {
+		t.Fatal("MergeRuns overwrote an existing run directory")
+	}
+}
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}

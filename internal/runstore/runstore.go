@@ -68,6 +68,12 @@ type Manifest struct {
 	GitDescribe string `json:"git_describe,omitempty"`
 	// StartTime is when the run directory was created.
 	StartTime time.Time `json:"start_time"`
+	// Shard is "i/N" when this run owns only the grid points whose
+	// checkpoint key hashes to i mod N; empty for an unsharded run.
+	// MergeRuns clears it in the merged manifest. Shard is outside
+	// ConfigHash: all shards of one sweep share the same hash, which is
+	// exactly what lets MergeRuns verify they belong together.
+	Shard string `json:"shard,omitempty"`
 }
 
 // Run is an open run directory: the manifest plus the checkpoint log,
@@ -92,20 +98,23 @@ type pointRecord struct {
 // Create initializes a fresh run directory and writes its manifest.
 // It refuses a directory that already holds a manifest — resuming an
 // existing run must go through Resume so the config hash is checked.
+// The manifest is created with O_EXCL semantics, so when several
+// processes race to create the same run directory exactly one wins and
+// the others get the "use Resume" error instead of both initializing it.
 func Create(dir string, m Manifest) (*Run, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runstore: %w", err)
 	}
 	mpath := filepath.Join(dir, manifestName)
-	if _, err := os.Stat(mpath); err == nil {
-		return nil, fmt.Errorf("runstore: %s already holds a run (use Resume)", dir)
-	}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return nil, fmt.Errorf("runstore: marshal manifest: %w", err)
 	}
-	if err := writeFileAtomic(mpath, append(data, '\n')); err != nil {
-		return nil, err
+	if err := writeFileExcl(mpath, append(data, '\n')); err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("runstore: %s already holds a run (use Resume)", dir)
+		}
+		return nil, fmt.Errorf("runstore: write manifest: %w", err)
 	}
 	log, err := os.OpenFile(filepath.Join(dir, pointsName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -156,8 +165,9 @@ func loadPoints(path string) (map[string]json.RawMessage, int, error) {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	var pendingErr error
-	n := 0
+	badLine, lastLine := 0, 0
 	for lineNo := 1; sc.Scan(); lineNo++ {
+		lastLine = lineNo
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
@@ -169,17 +179,25 @@ func loadPoints(path string) (map[string]json.RawMessage, int, error) {
 		var rec pointRecord
 		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
 			pendingErr = fmt.Errorf("runstore: corrupt checkpoint record at %s:%d", path, lineNo)
+			badLine = lineNo
 			continue
 		}
 		points[rec.Key] = rec.Point
-		n++
 	}
 	if err := sc.Err(); err != nil {
 		return nil, 0, fmt.Errorf("runstore: read checkpoint log: %w", err)
 	}
-	// pendingErr set on the last line only: a torn append from a crash;
-	// the record was never acknowledged, so dropping it is safe.
-	return points, n, nil
+	// A torn append writes a prefix of one record and nothing after it,
+	// so only a bad record on the literally last line of the file may be
+	// forgiven. A bad record followed by anything — even blank lines —
+	// means something was written after it: real corruption.
+	if pendingErr != nil && badLine != lastLine {
+		return nil, 0, pendingErr
+	}
+	// The restored count is the number of distinct keys, not records: a
+	// log holding re-appended duplicates (e.g. after merging overlapping
+	// shards) collapses in the map and must not over-report.
+	return points, len(points), nil
 }
 
 // Dir returns the run directory path.
@@ -317,6 +335,99 @@ func ReadArtifact(path string) ([]byte, error) {
 func VerifyArtifact(path string) error {
 	_, err := ReadArtifact(path)
 	return err
+}
+
+// writeFileExcl creates path with O_EXCL — failing with os.IsExist
+// when the file already exists, even against a concurrent creator —
+// writes data, fsyncs, and fsyncs the directory. Unlike
+// writeFileAtomic, which rename-clobbers, this is the primitive for
+// claims that must have exactly one winner (run-directory manifests).
+func writeFileExcl(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Sidecar files a run directory may carry next to the manifest: the
+// full sweep specification (so merge-runs can regenerate final CSVs
+// without re-deriving the grid from CLI flags) and the expected
+// checkpoint-key list (so merge-runs can report gaps against the full
+// grid). Both are optional; readers return ok=false when absent.
+const (
+	specName = "spec.json"
+	keysName = "keys.json"
+)
+
+// WriteSpec durably records the full sweep specification in dir.
+func WriteSpec(dir string, spec any) error {
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runstore: marshal spec: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(dir, specName), append(data, '\n'))
+}
+
+// ReadSpec unmarshals dir's sweep specification into spec. ok is false
+// when the run directory has no spec sidecar (pre-shard runs).
+func ReadSpec(dir string, spec any) (ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, specName))
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("runstore: %w", err)
+	}
+	if err := json.Unmarshal(data, spec); err != nil {
+		return false, fmt.Errorf("runstore: corrupt spec in %s: %w", dir, err)
+	}
+	return true, nil
+}
+
+// WriteExpectedKeys durably records the full grid's checkpoint keys in
+// dir. Every shard of a sweep writes the same full list — ownership is
+// a filter over it, not a different grid.
+func WriteExpectedKeys(dir string, keys []string) error {
+	data, err := json.MarshalIndent(keys, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runstore: marshal keys: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(dir, keysName), append(data, '\n'))
+}
+
+// ReadExpectedKeys returns dir's expected checkpoint-key list, or
+// (nil, nil) when the sidecar is absent.
+func ReadExpectedKeys(dir string) ([]string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, keysName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runstore: %w", err)
+	}
+	var keys []string
+	if err := json.Unmarshal(data, &keys); err != nil {
+		return nil, fmt.Errorf("runstore: corrupt key list in %s: %w", dir, err)
+	}
+	return keys, nil
 }
 
 // writeFileAtomic writes data to path via a same-directory temp file,

@@ -2,6 +2,7 @@ package runstore_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -96,6 +97,142 @@ func TestCreateRefusesExistingRun(t *testing.T) {
 	run.Close()
 	if _, err := runstore.Create(dir, testManifest("h")); err == nil {
 		t.Fatal("Create overwrote an existing run directory")
+	}
+}
+
+// TestCreateConcurrentExactlyOneWins is the TOCTOU regression: racing
+// creators of the same run directory must resolve to exactly one
+// winner — the Stat-then-write check let two initialize it — with
+// every loser told to use Resume.
+func TestCreateConcurrentExactlyOneWins(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	const racers = 16
+	var (
+		start sync.WaitGroup
+		done  sync.WaitGroup
+		mu    sync.Mutex
+		wins  int
+	)
+	start.Add(1)
+	for i := 0; i < racers; i++ {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			start.Wait()
+			run, err := runstore.Create(dir, testManifest("race"))
+			if err == nil {
+				run.Close()
+				mu.Lock()
+				wins++
+				mu.Unlock()
+				return
+			}
+			if !strings.Contains(err.Error(), "use Resume") {
+				t.Errorf("loser got %v, want the use-Resume refusal", err)
+			}
+		}()
+	}
+	start.Done()
+	done.Wait()
+	if wins != 1 {
+		t.Fatalf("%d creators won the race, want exactly 1", wins)
+	}
+	// The surviving manifest must be intact and resumable.
+	if _, err := runstore.Resume(dir, "race"); err != nil {
+		t.Fatalf("winner's run directory is not resumable: %v", err)
+	}
+}
+
+// TestRestoredDedupesDuplicateKeys is the over-count regression: a log
+// holding re-appended records for the same key (the signature of a
+// merged-then-resumed or doubly-appended run) collapses in the point
+// map, and Restored must report distinct keys, not record lines.
+func TestRestoredDedupesDuplicateKeys(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	run, err := runstore.Create(dir, testManifest("h"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range []struct {
+		key string
+		val int
+	}{{"a", 1}, {"b", 2}, {"a", 1}, {"a", 1}, {"c", 3}} {
+		if err := run.AppendPoint(rec.key, rec.val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run.Close()
+	resumed, err := runstore.Resume(dir, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if got := resumed.Restored(); got != 3 {
+		t.Errorf("Restored() = %d, want 3 distinct keys (5 records appended)", got)
+	}
+}
+
+// TestResumeRejectsCorruptionBeforeBlankTail is the torn-tail
+// heuristic regression: a corrupt record followed only by blank lines
+// was forgiven as a torn final append, but a torn append can never be
+// followed by further bytes — this is real corruption and must refuse.
+func TestResumeRejectsCorruptionBeforeBlankTail(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	run, err := runstore.Create(dir, testManifest("h"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Close()
+	log := `{"key":"a","point":1}` + "\n" + `garbage` + "\n\n\n"
+	if err := os.WriteFile(filepath.Join(dir, "points.jsonl"), []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runstore.Resume(dir, "h"); err == nil {
+		t.Fatal("Resume forgave a corrupt record that was followed by blank lines")
+	}
+}
+
+// TestAppendPointConcurrent hammers one log with concurrent appenders
+// (the panel runner's completion pattern); every record must survive a
+// reopen. Run under -race in CI's short suite.
+func TestAppendPointConcurrent(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	run, err := runstore.Create(dir, testManifest("h"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("w%02d/p%02d", w, i)
+				if err := run.AppendPoint(key, map[string]int{"w": w, "i": i}); err != nil {
+					t.Errorf("append %s: %v", key, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := run.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := runstore.Resume(dir, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if got := resumed.Restored(); got != writers*perWriter {
+		t.Fatalf("Restored() = %d, want %d", got, writers*perWriter)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			if _, ok := resumed.LookupPoint(fmt.Sprintf("w%02d/p%02d", w, i)); !ok {
+				t.Fatalf("record w%02d/p%02d lost", w, i)
+			}
+		}
 	}
 }
 
