@@ -125,6 +125,7 @@ func runAblateRouting(args []string) {
 	rundir := fs.String("rundir", "", "durable run directory (per-topology checkpoints)")
 	resume := fs.Bool("resume", false, "resume the run in -rundir, skipping checkpointed topologies")
 	shardStr := fs.String("shard", "", "run shard i/N of the topologies (requires -rundir, merge with merge-runs)")
+	scorerList := fs.String("scorers", "margin", "success metrics, comma-separated; margin is always on")
 	var cf compileFlags
 	cf.register(fs)
 	var prof profiler
@@ -150,6 +151,7 @@ func runAblateRouting(args []string) {
 		Instances: *instances, Shots: 2048, Trajectories: *traj,
 		RowSeed: 1001, PointSeed: 1002,
 		Pipeline: cf.config(),
+		Scorers:  parseScorers(*scorerList),
 	}
 	topos := []struct {
 		name string
@@ -230,6 +232,7 @@ func runScaling(args []string) {
 	rundir := fs.String("rundir", "", "durable run directory (per-point checkpoints)")
 	resume := fs.Bool("resume", false, "resume the run in -rundir, skipping checkpointed points")
 	shardStr := fs.String("shard", "", "run shard i/N of the grid (requires -rundir, merge with merge-runs)")
+	scorerList := fs.String("scorers", "margin", "success metrics, comma-separated; margin is always on")
 	var cf compileFlags
 	cf.register(fs)
 	var prof profiler
@@ -244,6 +247,7 @@ func runScaling(args []string) {
 		exit(2)
 	}
 	pcfg := cf.config()
+	extraScorers := parseScorers(*scorerList)
 	ctx, stop := sweepContext()
 	defer stop()
 	runner := newRunnerOrExit(*backendName, *workers, *batch)
@@ -281,10 +285,12 @@ func runScaling(args []string) {
 		Traj      int
 		Backend   string
 		Pipeline  string
+		Scorers   []string `json:",omitempty"`
 	}
 	spec := scalingSpec{Command: "scaling", Ns: ns, Rates: p2s,
 		Instances: *instances, Shots: *shots, Traj: *traj,
-		Backend: *backendName, Pipeline: pcfg.Hash()}
+		Backend: *backendName, Pipeline: pcfg.Hash(),
+		Scorers: extraScorers}
 	var keys []string
 	for _, n := range ns {
 		for ri := range p2s {
@@ -329,6 +335,7 @@ func runScaling(args []string) {
 					RowSeed:   splitMix(77, uint64(n)),
 					PointSeed: splitMix(78, uint64(n)<<16|uint64(d)<<8|uint64(p2*1000)),
 					Pipeline:  pcfg,
+					Scorers:   extraScorers,
 				}
 				r, err := experiment.RunPointCkptCtx(ctx, runner, cfg, key, ck)
 				if err != nil {

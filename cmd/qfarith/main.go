@@ -3,6 +3,8 @@
 //	qfarith table1                  — Table I gate counts
 //	qfarith fig3 [flags]            — Fig. 3 QFA success-rate sweeps
 //	qfarith fig4 [flags]            — Fig. 4 QFM success-rate sweeps
+//	qfarith fig3-signed [flags]     — QFS (signed subtraction) noise panels
+//	qfarith fig4-signed [flags]     — signed QFM noise panels
 //	qfarith claim-2q [flags]        — the conclusions' 1:2 vs 2:2 2q-rate claim
 //	qfarith ablate-addcut [flags]   — approximate addition-step ablation (E6)
 //	qfarith ablate-routing [flags]  — qubit-connectivity ablation (E7)
@@ -53,6 +55,10 @@ func main() {
 		runFigure(args, experiment.PaperAddGeometry(), experiment.AddDepths, "fig3")
 	case "fig4":
 		runFigure(args, experiment.PaperMulGeometry(), experiment.MulDepths, "fig4")
+	case "fig3-signed":
+		runFigure(args, experiment.PaperSubGeometry(), experiment.AddDepths, "fig3-signed")
+	case "fig4-signed":
+		runFigure(args, experiment.PaperSignedMulGeometry(), experiment.MulDepths, "fig4-signed")
 	case "claim-2q":
 		runClaim2Q(args)
 	case "ablate-addcut":
@@ -80,7 +86,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qfarith <table1|fig3|fig4|claim-2q|ablate-addcut|ablate-routing|scaling|shor|merge-runs|report|demo|qasm|thermal> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qfarith <table1|fig3|fig4|fig3-signed|fig4-signed|claim-2q|ablate-addcut|ablate-routing|scaling|shor|merge-runs|report|demo|qasm|thermal> [flags]")
 }
 
 // ---------------------------------------------------------------- table1
@@ -137,6 +143,7 @@ type sweepFlags struct {
 	resume    bool
 	shard     experiment.Shard
 	pipeline  compile.Config
+	scorers   []string
 	prof      profiler
 	telem     telemetryFlags
 }
@@ -209,6 +216,11 @@ type sweepSpec struct {
 	// different compiled output hash differently, so -resume refuses a
 	// run whose pass list or coupling changed.
 	Pipeline string
+	// Scorers lists the additional metrics the sweep evaluates (the
+	// -scorers flag, minus the always-on margin). Extra scorers change
+	// checkpoint payloads, so they are part of the run's identity;
+	// omitempty keeps every pre-existing margin-only hash unchanged.
+	Scorers []string `json:",omitempty"`
 }
 
 func (sf sweepFlags) spec(command string, geo experiment.Geometry, depths []int) sweepSpec {
@@ -220,6 +232,7 @@ func (sf sweepFlags) spec(command string, geo experiment.Geometry, depths []int)
 		Traj: sf.budget.Trajectories,
 		Seed: sf.seed, Backend: sf.backend,
 		Pipeline: sf.pipeline.Hash(),
+		Scorers:  sf.scorers,
 	}
 }
 
@@ -314,6 +327,8 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 	shardStr := fs.String("shard", "", "run shard i/N of the grid (e.g. 0/3): only points whose key hashes to i mod N; requires -rundir, merge with merge-runs")
 	sampler := fs.String("sampler", experiment.SamplerMode(),
 		"shot-sampling stage: fast|legacy (bit-identical; legacy kept for equivalence checks)")
+	scorers := fs.String("scorers", "margin",
+		"success metrics, comma-separated (registered: "+strings.Join(metrics.ScorerNames(), ",")+"); margin is always on, extras append CSV columns")
 	var cf compileFlags
 	cf.register(fs)
 	var prof profiler
@@ -338,6 +353,7 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 		fmt.Fprintln(os.Stderr, err)
 		exit(2)
 	}
+	extraScorers := parseScorers(*scorers)
 	pcfg := cf.config()
 
 	var b experiment.Budget
@@ -367,7 +383,7 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 		rates1q: experiment.PaperRates1Q, rates2q: experiment.PaperRates2Q,
 		backend: *backendName, workers: *workers, batch: *batch,
 		rundir: *rundir, resume: *resume, shard: shard,
-		pipeline: pcfg, prof: prof, telem: telem}
+		pipeline: pcfg, scorers: extraScorers, prof: prof, telem: telem}
 	if *rates != "" {
 		var grid []float64
 		for _, tok := range strings.Split(*rates, ",") {
@@ -400,6 +416,31 @@ func parseSweepFlags(args []string, name string) sweepFlags {
 		sf.orderSets = append(sf.orderSets, [2]int{ox, oy})
 	}
 	return sf
+}
+
+// parseScorers validates the -scorers flag value: a comma-separated
+// list of registered scorer names. The paper's margin scoring is always
+// on (its six columns are the frozen CSV schema), so "margin" is
+// stripped; what remains — deduplicated, order preserved — is the extra
+// scorer list threaded into every PointConfig. An empty result keeps
+// the sweep on the historical margin-only path, byte for byte.
+func parseScorers(s string) []string {
+	var extras []string
+	seen := map[string]bool{}
+	for _, tok := range strings.Split(s, ",") {
+		name := strings.TrimSpace(tok)
+		if name == "" || name == "margin" || seen[name] {
+			continue
+		}
+		if _, ok := metrics.LookupScorer(name); !ok {
+			fmt.Fprintf(os.Stderr, "unknown scorer %q (registered: %s)\n",
+				name, strings.Join(metrics.ScorerNames(), ","))
+			exit(2)
+		}
+		seen[name] = true
+		extras = append(extras, name)
+	}
+	return extras
 }
 
 // compileFlags registers the compilation-pipeline flags shared by every
@@ -483,6 +524,7 @@ func runFigure(args []string, geo experiment.Geometry, depths []int, name string
 				Rates: rates, Depths: depths,
 				Budget: sf.budget, Seed: sf.seed,
 				Pipeline: sf.pipeline,
+				Scorers:  sf.scorers,
 			}
 			label := fmt.Sprintf("%s_%s_%d%d", name, axis, orders[0], orders[1])
 			panels = append(panels, panelJob{label: label, pc: pc})
@@ -615,6 +657,7 @@ func runClaim2Q(args []string) {
 			Rates: rates, Depths: experiment.AddDepths,
 			Budget: sf.budget, Seed: sf.seed,
 			Pipeline: sf.pipeline,
+			Scorers:  sf.scorers,
 		}
 		var res experiment.PanelResult
 		var err error

@@ -64,7 +64,11 @@ func runMergeRuns(args []string) {
 		fmt.Printf("no sweep spec recorded; re-render outputs by resuming:\n  qfarith <command> <same flags> -rundir %s -resume\n", *out)
 		return
 	}
-	if spec.Command != "fig3" && spec.Command != "fig4" {
+	switch spec.Command {
+	case "fig3", "fig4", "fig3-signed", "fig4-signed":
+		// Figure-style sweeps record enough spec to regenerate their
+		// panel CSVs directly from the merged checkpoints.
+	default:
 		fmt.Printf("merged %s run; re-render its output by resuming:\n  qfarith %s <same flags> -rundir %s -resume\n", spec.Command, spec.Command, *out)
 		return
 	}
@@ -84,8 +88,9 @@ func runMergeRuns(args []string) {
 				Geometry: spec.Geometry, Axis: axis,
 				OrderX: orders[0], OrderY: orders[1],
 				Rates: rates, Depths: spec.Depths,
-				Budget: experiment.Budget{Instances: spec.Instances, Shots: spec.Shots, Trajectories: spec.Traj},
-				Seed:   spec.Seed,
+				Budget:  experiment.Budget{Instances: spec.Instances, Shots: spec.Shots, Trajectories: spec.Traj},
+				Seed:    spec.Seed,
+				Scorers: spec.Scorers,
 			}
 			label := fmt.Sprintf("%s_%s_%d%d", spec.Command, axis, orders[0], orders[1])
 			res, err := experiment.PanelFromCheckpoints(pc, label, run)

@@ -176,6 +176,11 @@ func (t *sweepTracker) line() {
 	if pointSum := telemetry.Default().HistogramSum("qfarith_point_seconds"); pointSum > 0 {
 		sampleSum := telemetry.Default().HistogramSum("qfarith_sample_seconds")
 		line += fmt.Sprintf(" | sample %.1f%%", 100*sampleSum/pointSum)
+		// The additional-scorer stage only accumulates when -scorers
+		// requests metrics beyond the default margin path.
+		if scoreSum := telemetry.Default().HistogramSum("qfarith_score_seconds"); scoreSum > 0 {
+			line += fmt.Sprintf(" | score %.1f%%", 100*scoreSum/pointSum)
+		}
 	}
 	fmt.Println(line)
 }

@@ -103,6 +103,17 @@ func SubGates(c *circuit.Circuit, x, y []int, cfg Config) {
 	qft.InverseGates(c, y, cfg.Depth)
 }
 
+// NewQFS builds a standalone QFS circuit with the subtrahend x on
+// qubits 0..a-1 and the minuend/result y on qubits a..a+w-1 (both
+// least-significant-first), the register layout of NewQFA.
+func NewQFS(a, w int, cfg Config) *circuit.Circuit {
+	c := circuit.New(a + w)
+	x := Range(0, a)
+	y := Range(a, w)
+	SubGates(c, x, y, cfg)
+	return c
+}
+
 // ConstAddGates appends a constant adder computing y ← (y + k) mod
 // 2^len(y) with the classical constant folded into bare phase gates (the
 // paper's §3 closing remark: a classical operand needs no control qubits,

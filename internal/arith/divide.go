@@ -99,3 +99,15 @@ func SignedQFMGates(c *circuit.Circuit, x, y, z []int, cfg Config) {
 	subShifted(y, n, x[n-1])
 	subShifted(x, m, y[m-1])
 }
+
+// NewSignedQFM builds a standalone signed QFM circuit with the register
+// layout of NewQFM: product z on qubits 0..n+m-1, multiplicand y on
+// n+m..n+2m-1, multiplier x on n+2m..2n+2m-1.
+func NewSignedQFM(n, m int, cfg Config) *circuit.Circuit {
+	c := circuit.New(2*n + 2*m)
+	z := Range(0, n+m)
+	y := Range(n+m, m)
+	x := Range(n+2*m, n)
+	SignedQFMGates(c, x, y, z, cfg)
+	return c
+}

@@ -1,0 +1,54 @@
+package arith_test
+
+import (
+	"testing"
+
+	"qfarith/internal/arith"
+	"qfarith/internal/metrics"
+)
+
+// TestNewQFSExhaustive pins the standalone subtractor constructor's
+// register layout (x on 0..a-1, y on a..a+w-1, like NewQFA) over every
+// input pair: y ← (y − x) mod 2^w, which under two's complement is
+// simultaneously the signed difference re-encoded in w bits.
+func TestNewQFSExhaustive(t *testing.T) {
+	a, w := 3, 3
+	c := arith.NewQFS(a, w, arith.DefaultConfig())
+	for x := 0; x < 1<<uint(a); x++ {
+		for y := 0; y < 1<<uint(w); y++ {
+			out := dominantOutput(t, c, a+w, x|y<<uint(a))
+			gotX := out & (1<<uint(a) - 1)
+			gotY := out >> uint(a)
+			want := (y - x) & (1<<uint(w) - 1)
+			if gotX != x || gotY != want {
+				t.Fatalf("QFS(%d,%d): %d-%d gave (x=%d,y=%d), want (x=%d,y=%d)",
+					a, w, y, x, gotX, gotY, x, want)
+			}
+			if s := metrics.SignedValue(gotY, w); s != metrics.SignedValue((metrics.SignedValue(y, w)-metrics.SignedValue(x, a))&(1<<uint(w)-1), w) {
+				t.Fatalf("QFS signed decode mismatch at x=%d y=%d: %d", x, y, s)
+			}
+		}
+	}
+}
+
+// TestNewSignedQFMExhaustive pins the standalone signed multiplier
+// constructor (NewQFM's layout: z on 0..n+m-1, y on n+m..n+2m-1, x on
+// n+2m..2n+2m-1) against the two's-complement product over every
+// operand pair.
+func TestNewSignedQFMExhaustive(t *testing.T) {
+	n, m := 2, 2
+	c := arith.NewSignedQFM(n, m, arith.DefaultConfig())
+	zw := n + m
+	for x := 0; x < 1<<uint(n); x++ {
+		for y := 0; y < 1<<uint(m); y++ {
+			init := y<<uint(zw) | x<<uint(zw+m)
+			out := dominantOutput(t, c, 2*n+2*m, init)
+			gotZ := out & (1<<uint(zw) - 1)
+			want := (metrics.SignedValue(x, n) * metrics.SignedValue(y, m)) & (1<<uint(zw) - 1)
+			if gotZ != want {
+				t.Fatalf("SignedQFM(%d,%d): %d×%d gave z=%d, want %d",
+					n, m, metrics.SignedValue(x, n), metrics.SignedValue(y, m), gotZ, want)
+			}
+		}
+	}
+}

@@ -33,13 +33,27 @@ const (
 	// OpMul is Quantum Fourier Multiplication with the Fig. 4 geometry:
 	// 4-qubit multiplicands and an 8-qubit product register.
 	OpMul
+	// OpSub is Quantum Fourier Subtraction: the inverse phase ladder on
+	// the QFA geometry, computing y ← (y − x) mod 2^w. Two's-complement
+	// encoding makes the same circuit the signed subtractor.
+	OpSub
+	// OpMulSigned is the sign-corrected Fourier multiplier: operands
+	// read as two's complement, product delivered in (n+m)-bit two's
+	// complement.
+	OpMulSigned
 )
 
 func (o Op) String() string {
-	if o == OpAdd {
+	switch o {
+	case OpAdd:
 		return "qfa"
+	case OpSub:
+		return "qfs"
+	case OpMulSigned:
+		return "sqfm"
+	default:
+		return "qfm"
 	}
-	return "qfm"
 }
 
 // Geometry fixes the register layout of an operation.
@@ -82,11 +96,38 @@ func MulGeometry(n, m int) Geometry {
 	}
 }
 
+// SubGeometry returns the QFS layout: identical registers to the QFA —
+// x on qubits 0..xbits-1, minuend/difference y above it, y measured —
+// since subtraction is the inverse phase ladder on the same wires.
+func SubGeometry(xbits, ybits int) Geometry {
+	g := AddGeometry(xbits, ybits)
+	g.Op = OpSub
+	return g
+}
+
+// SignedMulGeometry returns the signed QFM layout: identical registers
+// to the unsigned QFM (product z measured, then y, then x), with the
+// operands read as two's complement and the two sign-correction blocks
+// appended.
+func SignedMulGeometry(n, m int) Geometry {
+	g := MulGeometry(n, m)
+	g.Op = OpMulSigned
+	return g
+}
+
 // PaperAddGeometry is the Fig. 3 / Table I QFA configuration.
 func PaperAddGeometry() Geometry { return AddGeometry(7, 8) }
 
 // PaperMulGeometry is the Fig. 4 / Table I QFM configuration.
 func PaperMulGeometry() Geometry { return MulGeometry(4, 4) }
+
+// PaperSubGeometry is the signed-panel QFS configuration: the Fig. 3
+// register sizes with the subtractor circuit.
+func PaperSubGeometry() Geometry { return SubGeometry(7, 8) }
+
+// PaperSignedMulGeometry is the signed-panel QFM configuration: the
+// Fig. 4 register sizes with the sign-corrected multiplier.
+func PaperSignedMulGeometry() Geometry { return SignedMulGeometry(4, 4) }
 
 // BuildCircuit constructs the operation's circuit at AQFT depth d.
 func (g Geometry) BuildCircuit(d int) *transpile.Result {
@@ -107,8 +148,12 @@ func (g Geometry) LogicalCircuit(cfg arith.Config) *circuit.Circuit {
 	switch g.Op {
 	case OpAdd:
 		arith.QFAGates(c, g.XReg, g.YReg, cfg)
+	case OpSub:
+		arith.SubGates(c, g.XReg, g.YReg, cfg)
 	case OpMul:
 		arith.QFMGates(c, g.XReg, g.YReg, g.ZReg, cfg)
+	case OpMulSigned:
+		arith.SignedQFMGates(c, g.XReg, g.YReg, g.ZReg, cfg)
 	}
 	return c
 }
@@ -146,6 +191,12 @@ type PointConfig struct {
 	// Pipeline selects the compilation pass pipeline; the zero value is
 	// the default (decompose,fuse) pipeline the paper's figures use.
 	Pipeline compile.Config
+	// Scorers names additional success metrics to evaluate beside the
+	// always-on margin scoring, each making one pass over the same shot
+	// histogram. Empty means margin only; the field is omitted from
+	// checkpoint payloads (and therefore from config hashes) when empty,
+	// so historical runs stay resumable and byte-identical.
+	Scorers []string `json:",omitempty"`
 }
 
 // PointResult is the aggregated outcome of one plotted point.
@@ -208,9 +259,9 @@ func (cfg PointConfig) initialAmps(buf []complex128, xs, ys []int) {
 		for _, y := range ys {
 			var idx int
 			switch g.Op {
-			case OpAdd:
+			case OpAdd, OpSub:
 				idx = x | y<<uint(g.XBits)
-			case OpMul:
+			case OpMul, OpMulSigned:
 				// z starts at 0; y then x above it.
 				idx = y<<uint(g.OutBits) | x<<uint(g.OutBits+g.YBits)
 			}
@@ -221,10 +272,17 @@ func (cfg PointConfig) initialAmps(buf []complex128, xs, ys []int) {
 
 // correctSet returns the expected output values for the operands.
 func (cfg PointConfig) correctSet(xs, ys []int) map[int]bool {
-	if cfg.Geometry.Op == OpAdd {
-		return metrics.CorrectSums(xs, ys, cfg.Geometry.OutBits)
+	g := cfg.Geometry
+	switch g.Op {
+	case OpAdd:
+		return metrics.CorrectSums(xs, ys, g.OutBits)
+	case OpSub:
+		return metrics.CorrectDiffs(xs, ys, g.OutBits)
+	case OpMulSigned:
+		return metrics.CorrectSignedProducts(xs, ys, g.XBits, g.YBits)
+	default:
+		return metrics.CorrectProducts(xs, ys, g.OutBits)
 	}
-	return metrics.CorrectProducts(xs, ys, cfg.Geometry.OutBits)
 }
 
 // mixtureSeed2 is the fixed second PCG seed word of the per-instance
@@ -302,14 +360,18 @@ func RunPointCfgCtx(ctx context.Context, r *backend.Runner, cfg PointConfig, acf
 }
 
 func runPointOn(ctx context.Context, r *backend.Runner, cfg PointConfig, res *transpile.Result) (PointResult, error) {
+	srun, err := cfg.newScorerRun()
+	if err != nil {
+		return PointResult{}, err
+	}
 	sp := telemetry.StartSpan(pointSec)
 	results := make([]metrics.InstanceResult, cfg.Instances)
 	var (
 		diagOnce sync.Once
 		diag     backend.Diagnostics
 	)
-	err := r.Do(ctx, cfg.Instances, func(idx int) error {
-		ir, d, err := cfg.runInstance(ctx, r.Backend(), res, idx)
+	err = r.Do(ctx, cfg.Instances, func(idx int) error {
+		ir, d, err := cfg.runInstance(ctx, r.Backend(), res, idx, srun)
 		if err != nil {
 			return err
 		}
@@ -325,11 +387,15 @@ func runPointOn(ctx context.Context, r *backend.Runner, cfg PointConfig, res *tr
 	sp.End()
 	pointsFresh.Inc()
 
+	st := metrics.Aggregate(results)
+	if srun != nil {
+		st.Extra = srun.aggregate()
+	}
 	one, two := res.CountByArity()
 	p1, p2 := transpile.PaperCounts(srcCircuit(res))
 	return PointResult{
 		Config:         cfg,
-		Stats:          metrics.Aggregate(results),
+		Stats:          st,
 		NoErrorProb:    diag.NoErrorProb,
 		ExpectedErrors: diag.ExpectedErrors,
 		Native1q:       one,
@@ -345,7 +411,7 @@ func runPointOn(ctx context.Context, r *backend.Runner, cfg PointConfig, res *tr
 // tail's histogram, correct-set, and sampler — comes from the instance
 // scratch pool, so a warm sweep allocates nothing here beyond what the
 // backend returns.
-func (cfg PointConfig) runInstance(ctx context.Context, b backend.Backend, res *transpile.Result, idx int) (metrics.InstanceResult, backend.Diagnostics, error) {
+func (cfg PointConfig) runInstance(ctx context.Context, b backend.Backend, res *transpile.Result, idx int, srun *scorerRun) (metrics.InstanceResult, backend.Diagnostics, error) {
 	xs, ys := cfg.instanceOperands(idx)
 	sc := getInstanceScratch()
 	defer putInstanceScratch(sc)
@@ -363,6 +429,6 @@ func (cfg PointConfig) runInstance(ctx context.Context, b backend.Backend, res *
 	if err != nil {
 		return metrics.InstanceResult{}, backend.Diagnostics{}, err
 	}
-	ir := cfg.sampleAndScore(sc, idx, xs, ys, dist, diag.Ideal)
+	ir := cfg.sampleAndScore(sc, idx, xs, ys, dist, diag.Ideal, srun)
 	return ir, diag, nil
 }

@@ -2,6 +2,7 @@ package experiment_test
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -52,14 +53,14 @@ func TestDeterministicGivenSeeds(t *testing.T) {
 	cfg := smallAddPoint(noise.PaperModel(0.01, 0.01), 1, 2)
 	a := experiment.RunPoint(cfg)
 	b := experiment.RunPoint(cfg)
-	if a.Stats != b.Stats {
+	if !reflect.DeepEqual(a.Stats, b.Stats) {
 		t.Errorf("same seeds gave different stats: %+v vs %+v", a.Stats, b.Stats)
 	}
 	cfg.PointSeed++
 	c := experiment.RunPoint(cfg)
 	// Different noise seed may coincidentally match, but the margin mean
 	// almost surely differs.
-	if a.Stats == c.Stats {
+	if reflect.DeepEqual(a.Stats, c.Stats) {
 		t.Log("note: different PointSeed produced identical stats (possible but unlikely)")
 	}
 }
@@ -181,7 +182,7 @@ func TestWorkerParallelismMatchesSerial(t *testing.T) {
 	parallel.Workers = 4
 	rs := experiment.RunPoint(serial)
 	rp := experiment.RunPoint(parallel)
-	if rs.Stats != rp.Stats {
+	if !reflect.DeepEqual(rs.Stats, rp.Stats) {
 		t.Errorf("parallel instances changed results: %+v vs %+v", rs.Stats, rp.Stats)
 	}
 }

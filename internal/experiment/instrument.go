@@ -12,9 +12,12 @@ import "qfarith/internal/telemetry"
 // sampleSec times the per-instance shot-sampling/scoring tail; its sum
 // against qfarith_point_seconds' sum is the sampling stage's share of
 // sweep wall time (surfaced in the progress line and telemetry.json).
+// scoreSec times only the additional-scorer stage (the -scorers flag);
+// it stays empty on margin-only sweeps.
 var (
 	pointSec       = telemetry.Default().Histogram("qfarith_point_seconds")
 	sampleSec      = telemetry.Default().Histogram("qfarith_sample_seconds")
+	scoreSec       = telemetry.Default().Histogram("qfarith_score_seconds")
 	pointsFresh    = telemetry.Default().Counter("qfarith_points_total", telemetry.L("kind", "fresh"))
 	pointsRestored = telemetry.Default().Counter("qfarith_points_total", telemetry.L("kind", "restored"))
 	shotsTotal     = telemetry.Default().Counter("qfarith_shots_total")

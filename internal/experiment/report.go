@@ -56,10 +56,30 @@ type CSVRow struct {
 	Success  float64
 	Fidelity float64
 	W0       float64
+	// Extra holds any numeric columns beyond the fixed schema, keyed by
+	// header name — the trailing scorer columns a -scorers sweep
+	// appends, or columns a future layout adds. They round-trip through
+	// the parser untouched, so report tooling built on today's schema
+	// keeps reading tomorrow's CSVs. Nil when the file has none.
+	Extra map[string]float64
 }
 
-// ParseCSV reads panel CSV content produced by PanelResult.CSV (it
-// tolerates the pre-fidelity column layout too).
+// baseCSVColumns is the fixed panel schema; anything else in a header
+// is an extra numeric metric column.
+var baseCSVColumns = map[string]bool{
+	"op": true, "axis": true, "rate_pct": true, "depth": true,
+	"order_x": true, "order_y": true, "success_pct": true,
+	"lower_bar_pct": true, "upper_bar_pct": true, "margin_mean": true,
+	"margin_sigma": true, "mean_fidelity": true, "instances": true,
+	"shots": true, "trajectories": true, "w0": true, "expected_errors": true,
+}
+
+// ParseCSV reads panel CSV content produced by PanelResult.CSV. The
+// parser is schema-tolerant in both directions: it accepts the
+// pre-fidelity column layout, and any column it does not recognize is
+// parsed as a float and preserved in CSVRow.Extra by header name, so
+// result files written with additional scorers (or by newer versions)
+// stay readable without a lockstep upgrade.
 func ParseCSV(content string) ([]CSVRow, error) {
 	lines := strings.Split(strings.TrimSpace(content), "\n")
 	if len(lines) < 1 {
@@ -119,6 +139,19 @@ func ParseCSV(content string) ([]CSVRow, error) {
 			if row.W0, err = num("w0"); err != nil {
 				return nil, fmt.Errorf("experiment: line %d: w0: %w", ln+2, err)
 			}
+		}
+		for name := range col {
+			if baseCSVColumns[name] {
+				continue
+			}
+			v, err := num(name)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: line %d: %s: %w", ln+2, name, err)
+			}
+			if row.Extra == nil {
+				row.Extra = make(map[string]float64, len(col)-len(baseCSVColumns))
+			}
+			row.Extra[name] = v
 		}
 		rows = append(rows, row)
 	}

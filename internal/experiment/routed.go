@@ -45,6 +45,10 @@ func RunRoutedPointCtx(ctx context.Context, r *backend.Runner, cfg PointConfig, 
 			return PointResult{}, fmt.Errorf("experiment: routed points route internally; drop %q from the pass list", compile.PassRoute)
 		}
 	}
+	srun, err := cfg.newScorerRun()
+	if err != nil {
+		return PointResult{}, err
+	}
 	sp := telemetry.StartSpan(pointSec)
 	art, err := cfg.Geometry.BuildArtifact(arith.Config{Depth: cfg.Depth, AddCut: arith.FullAdd}, cfg.Pipeline)
 	if err != nil {
@@ -113,7 +117,7 @@ func RunRoutedPointCtx(ctx context.Context, r *backend.Runner, cfg PointConfig, 
 		if err != nil {
 			return err
 		}
-		results[idx] = cfg.sampleAndScore(sc, idx, xs, ys, dist, d.Ideal)
+		results[idx] = cfg.sampleAndScore(sc, idx, xs, ys, dist, d.Ideal, srun)
 		if idx == 0 {
 			diag = d
 		}
@@ -124,10 +128,14 @@ func RunRoutedPointCtx(ctx context.Context, r *backend.Runner, cfg PointConfig, 
 	}
 	sp.End()
 	pointsFresh.Inc()
+	st := metrics.Aggregate(results)
+	if srun != nil {
+		st.Extra = srun.aggregate()
+	}
 	one, two := rres.CountByArity()
 	return PointResult{
 		Config:         cfg,
-		Stats:          metrics.Aggregate(results),
+		Stats:          st,
 		NoErrorProb:    diag.NoErrorProb,
 		ExpectedErrors: diag.ExpectedErrors,
 		Native1q:       one,

@@ -3,6 +3,7 @@ package experiment_test
 import (
 	"context"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"qfarith/internal/experiment"
@@ -117,7 +118,7 @@ func TestShardedPanelsMergeByteIdentical(t *testing.T) {
 			for j2 := range pc.Depths {
 				got, want := res.Points[i2][j2], ref.Points[i2][j2]
 				if shard.Owns(experiment.PointKey(panel, i2, j2)) {
-					if got.Stats != want.Stats {
+					if !reflect.DeepEqual(got.Stats, want.Stats) {
 						t.Errorf("shard %s cell (%d,%d) diverges from unsharded run", shard, i2, j2)
 					}
 				} else if got.Config.Instances != 0 {

@@ -10,6 +10,7 @@ import (
 	"qfarith/internal/backend"
 	"qfarith/internal/circuit"
 	"qfarith/internal/compile"
+	"qfarith/internal/metrics"
 	"qfarith/internal/noise"
 	"qfarith/internal/plot"
 	"qfarith/internal/qft"
@@ -94,6 +95,11 @@ type PanelConfig struct {
 	// Pipeline selects the compilation pass pipeline for every point of
 	// the panel; the zero value is the default pipeline.
 	Pipeline compile.Config
+	// Scorers names additional success metrics evaluated beside the
+	// always-on margin scoring; their aggregated columns are appended to
+	// the panel CSV in this order. Empty reproduces the historical
+	// margin-only output byte for byte.
+	Scorers []string `json:",omitempty"`
 }
 
 // PanelResult holds a panel's sweep grid: Points[rateIdx][depthIdx].
@@ -127,6 +133,7 @@ func (cfg PanelConfig) PointAt(rate float64, depth int) PointConfig {
 		PointSeed:    splitSeed(cfg.Seed, hashPoint(cfg.Axis, rate, depth, cfg.OrderX, cfg.OrderY)),
 		Workers:      cfg.Budget.Workers,
 		Pipeline:     cfg.Pipeline,
+		Scorers:      cfg.Scorers,
 	}
 }
 
@@ -285,14 +292,23 @@ func DepthLabel(d int, registerWidth int) string {
 }
 
 // CSV renders a panel as comma-separated rows:
-// axis,rate,depth,orders,success,lower,upper,sigma,instances.
+// axis,rate,depth,orders,success,lower,upper,sigma,instances. When the
+// panel requested additional scorers their aggregated columns follow
+// the frozen seventeen, one per scorer column, in request order —
+// margin-only panels emit the historical byte-identical layout.
 func (p PanelResult) CSV() string {
+	extraCols := ScorerColumns(p.Config.Scorers)
 	var sb strings.Builder
-	sb.WriteString("op,axis,rate_pct,depth,order_x,order_y,success_pct,lower_bar_pct,upper_bar_pct,margin_mean,margin_sigma,mean_fidelity,instances,shots,trajectories,w0,expected_errors\n")
+	sb.WriteString("op,axis,rate_pct,depth,order_x,order_y,success_pct,lower_bar_pct,upper_bar_pct,margin_mean,margin_sigma,mean_fidelity,instances,shots,trajectories,w0,expected_errors")
+	for _, c := range extraCols {
+		sb.WriteByte(',')
+		sb.WriteString(c)
+	}
+	sb.WriteByte('\n')
 	for i, rate := range p.Config.Rates {
 		for j, d := range p.Config.Depths {
 			r := p.Points[i][j]
-			fmt.Fprintf(&sb, "%s,%s,%.3f,%s,%d,%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.4f,%d,%d,%d,%.5f,%.3f\n",
+			fmt.Fprintf(&sb, "%s,%s,%.3f,%s,%d,%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.4f,%d,%d,%d,%.5f,%.3f",
 				p.Config.Geometry.Op, p.Config.Axis, rate*100,
 				DepthLabel(d, depthRegWidth(p.Config.Geometry)),
 				p.Config.OrderX, p.Config.OrderY,
@@ -300,19 +316,54 @@ func (p PanelResult) CSV() string {
 				r.Stats.MarginMean, r.Stats.MarginSigma, r.Stats.MeanFidelity,
 				r.Config.Instances, r.Config.Shots, r.Config.Trajectories,
 				r.NoErrorProb, r.ExpectedErrors)
+			for _, c := range extraCols {
+				fmt.Fprintf(&sb, ",%.6f", extraValue(r.Stats, c))
+			}
+			sb.WriteByte('\n')
 		}
 	}
 	return sb.String()
 }
 
-// depthRegWidth returns the register width that determines when a depth
-// is "full": the QFT register for addition, the cQFA window for
-// multiplication.
-func depthRegWidth(g Geometry) int {
-	if g.Op == OpAdd {
-		return g.YBits
+// ScorerColumns flattens the CSV columns the named scorers contribute,
+// in request order. Panics on an unknown name: panel configurations are
+// validated at the CLI boundary, so reaching here with a bad name is a
+// programming error, not user input.
+func ScorerColumns(names []string) []string {
+	ss, err := metrics.ResolveScorers(names)
+	if err != nil {
+		panic("experiment: " + err.Error())
 	}
-	return g.YBits + 1
+	var cols []string
+	for _, s := range ss {
+		cols = append(cols, s.Columns()...)
+	}
+	return cols
+}
+
+// extraValue looks an aggregated scorer column up by name. Restored
+// checkpoints wrote Extra in scorer-request order, but name lookup
+// keeps the CSV correct even if a future payload reorders it. A point
+// that never ran the scorer (zero value) reports 0.
+func extraValue(st metrics.PointStats, name string) float64 {
+	for _, mv := range st.Extra {
+		if mv.Name == name {
+			return mv.Value
+		}
+	}
+	return 0
+}
+
+// depthRegWidth returns the register width that determines when a depth
+// is "full": the QFT register for addition/subtraction, the cQFA window
+// for (signed or unsigned) multiplication.
+func depthRegWidth(g Geometry) int {
+	switch g.Op {
+	case OpAdd, OpSub:
+		return g.YBits
+	default:
+		return g.YBits + 1
+	}
 }
 
 // Plot renders a panel as an ASCII chart: success rate vs. error rate,

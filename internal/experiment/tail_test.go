@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"reflect"
 	"runtime/debug"
 	"testing"
 
@@ -58,7 +59,7 @@ func TestRunPointSamplerEquivalence(t *testing.T) {
 		var legacy, fast PointResult
 		withSamplerMode(t, SamplerLegacy, func() { legacy = RunPoint(cfg) })
 		withSamplerMode(t, SamplerFast, func() { fast = RunPoint(cfg) })
-		if legacy.Stats != fast.Stats {
+		if !reflect.DeepEqual(legacy.Stats, fast.Stats) {
 			t.Errorf("%v: stats differ:\nlegacy %+v\nfast   %+v", geo.Op, legacy.Stats, fast.Stats)
 		}
 		if legacy.NoErrorProb != fast.NoErrorProb || legacy.ExpectedErrors != fast.ExpectedErrors {

@@ -1,0 +1,82 @@
+package metrics_test
+
+import (
+	"math"
+	"testing"
+
+	"qfarith/internal/metrics"
+)
+
+// Edge-case pins for the distance/overlap helpers and TopOutcomes:
+// degenerate and mismatched-length inputs must return defined values
+// rather than panic, since scorers and diagnostics feed them histograms
+// and distributions of independently chosen widths.
+
+func TestTopOutcomesDegenerateK(t *testing.T) {
+	counts := []int{5, 1, 9}
+	if got := metrics.TopOutcomes(counts, 0); got != nil {
+		t.Errorf("k=0: %v, want nil", got)
+	}
+	if got := metrics.TopOutcomes(counts, -3); got != nil {
+		t.Errorf("k<0: %v, want nil", got)
+	}
+	if got := metrics.TopOutcomes(nil, 5); len(got) != 0 {
+		t.Errorf("empty counts: %v, want empty", got)
+	}
+}
+
+func TestClassicalFidelityMismatchedLengths(t *testing.T) {
+	// The shorter side is zero-padded: overlap only over the prefix.
+	p := []float64{0.5, 0.5}
+	q := []float64{0.5, 0.25, 0.25}
+	want := metrics.ClassicalFidelity(p, q[:2])
+	if got := metrics.ClassicalFidelity(p, q); got != want {
+		t.Errorf("mismatched fidelity = %v, want prefix value %v", got, want)
+	}
+	if got := metrics.ClassicalFidelity(nil, nil); got != 1 {
+		t.Errorf("both empty: %v, want 1", got)
+	}
+	if got := metrics.ClassicalFidelity(p, nil); got != 0 {
+		t.Errorf("one empty: %v, want 0", got)
+	}
+	// Negative entries are clamped, not NaN-ed.
+	if got := metrics.ClassicalFidelity([]float64{-1, 1}, []float64{0.5, 0.5}); math.IsNaN(got) {
+		t.Error("negative entry produced NaN")
+	}
+}
+
+func TestHellingerMismatchedLengths(t *testing.T) {
+	if got := metrics.HellingerDistance(nil, nil); got != 0 {
+		t.Errorf("both empty: %v, want 0", got)
+	}
+	if got := metrics.HellingerDistance([]float64{1}, nil); got != 1 {
+		t.Errorf("one empty: %v, want 1", got)
+	}
+	got := metrics.HellingerDistance([]float64{1, 0}, []float64{1, 0, 0, 0})
+	if got != 0 {
+		t.Errorf("zero-padded identical: %v, want 0", got)
+	}
+}
+
+func TestTotalVariationMismatchedLengths(t *testing.T) {
+	// The surplus tail of the longer input counts in full.
+	got := metrics.TotalVariation([]float64{0.5, 0.5}, []float64{0.5, 0.25, 0.25})
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("tv = %v, want 0.25", got)
+	}
+	if got := metrics.TotalVariation(nil, nil); got != 0 {
+		t.Errorf("both empty: %v, want 0", got)
+	}
+	if got := metrics.TotalVariation(nil, []float64{1}); got != 0.5 {
+		t.Errorf("one empty: %v, want 0.5", got)
+	}
+}
+
+func TestCountsFidelityEmptyHistogram(t *testing.T) {
+	if got := metrics.CountsFidelity([]float64{1}, nil); got != 0 {
+		t.Errorf("nil counts: %v, want 0", got)
+	}
+	if got := metrics.CountsFidelity([]float64{1}, []int{0, 0}); got != 0 {
+		t.Errorf("all-zero counts: %v, want 0", got)
+	}
+}

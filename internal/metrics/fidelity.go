@@ -14,12 +14,22 @@ import "math"
 // ClassicalFidelity returns F(p, q) = (Σ √(p_i q_i))², the squared
 // Bhattacharyya coefficient between two outcome distributions. 1 iff
 // the distributions coincide; 0 iff their supports are disjoint.
+// Mismatched lengths treat the shorter distribution as zero-padded —
+// missing outcomes carry no probability, so they contribute nothing to
+// the overlap — and two empty inputs overlap trivially (fidelity 1).
 func ClassicalFidelity(p, q []float64) float64 {
-	if len(p) != len(q) {
-		panic("metrics: fidelity length mismatch")
+	n := len(p)
+	if len(q) < n {
+		n = len(q)
+	}
+	if n == 0 {
+		if len(p) == 0 && len(q) == 0 {
+			return 1
+		}
+		return 0
 	}
 	var bc float64
-	for i := range p {
+	for i := 0; i < n; i++ {
 		a, b := p[i], q[i]
 		if a < 0 {
 			a = 0
@@ -33,14 +43,14 @@ func ClassicalFidelity(p, q []float64) float64 {
 }
 
 // CountsFidelity is ClassicalFidelity with the observed side given as a
-// shot histogram.
+// shot histogram. An empty histogram has no overlap with anything: 0.
 func CountsFidelity(ideal []float64, counts []int) float64 {
 	total := 0
 	for _, c := range counts {
 		total += c
 	}
 	if total == 0 {
-		panic("metrics: empty histogram")
+		return 0
 	}
 	obs := make([]float64, len(counts))
 	for i, c := range counts {
@@ -61,14 +71,20 @@ func HellingerDistance(p, q []float64) float64 {
 }
 
 // TotalVariation returns ½ Σ |p_i - q_i|, the statistical distance used
-// alongside fidelity in noise diagnostics.
+// alongside fidelity in noise diagnostics. Mismatched lengths treat the
+// shorter distribution as zero-padded, so the surplus tail of the
+// longer one counts in full.
 func TotalVariation(p, q []float64) float64 {
-	if len(p) != len(q) {
-		panic("metrics: distance length mismatch")
-	}
 	var s float64
-	for i := range p {
-		s += math.Abs(p[i] - q[i])
+	for i := 0; i < len(p) || i < len(q); i++ {
+		var a, b float64
+		if i < len(p) {
+			a = p[i]
+		}
+		if i < len(q) {
+			b = q[i]
+		}
+		s += math.Abs(a - b)
 	}
 	return s / 2
 }

@@ -113,6 +113,11 @@ type PointStats struct {
 	// MeanFidelity averages the instances' ideal-vs-noisy distribution
 	// fidelity, when recorded.
 	MeanFidelity float64
+	// Extra holds aggregated columns from additional scorers, in the
+	// order the sweep requested them. Empty (and absent from JSON
+	// checkpoints) when only the default margin scoring ran, so
+	// margin-only payloads stay byte-identical to historical ones.
+	Extra []MetricValue `json:",omitempty"`
 }
 
 // Aggregate computes the paper's per-point statistics from instance
@@ -235,8 +240,12 @@ func sortDedup(dst []int) []int {
 }
 
 // TopOutcomes returns the k most frequent outcome values in counts,
-// ties broken by value, for diagnostic rendering.
+// ties broken by value, for diagnostic rendering. k is clamped to
+// [0, len(counts)]: a non-positive k yields an empty slice.
 func TopOutcomes(counts []int, k int) []int {
+	if k <= 0 {
+		return nil
+	}
 	idx := make([]int, len(counts))
 	for i := range idx {
 		idx[i] = i

@@ -1,0 +1,77 @@
+// Correct-output sets for the signed half of the paper: subtraction and
+// signed multiplication over two's-complement operands. The encoding is
+// the standard one — a w-bit register holds v ∈ [0, 2^w) and represents
+// the signed value v − 2^w when the top bit is set — so modular
+// addition and subtraction coincide bit for bit with their unsigned
+// counterparts, while the signed product differs from the unsigned one
+// and needs its own expected set.
+package metrics
+
+// SignedValue interprets a w-bit register value as two's complement:
+// values with the top bit set map to [−2^(w−1), −1].
+func SignedValue(v, w int) int {
+	if v >= 1<<uint(w-1) {
+		return v - 1<<uint(w)
+	}
+	return v
+}
+
+// CorrectDiffs returns the deduplicated set of expected outputs for a
+// subtraction instance: (y_b − x_a) mod 2^w over all superposed operand
+// pairs. Two's-complement encoding makes this simultaneously the
+// unsigned modular difference and the signed difference of the decoded
+// operands, wrapped into w bits.
+func CorrectDiffs(xs, ys []int, w int) map[int]bool {
+	mask := 1<<uint(w) - 1
+	out := make(map[int]bool, len(xs)*len(ys))
+	for _, x := range xs {
+		for _, y := range ys {
+			out[(y-x)&mask] = true
+		}
+	}
+	return out
+}
+
+// CorrectDiffsInto is the pooled-buffer companion of CorrectDiffs,
+// matching CorrectSumsInto: sorted, deduplicated, reusing dst.
+func CorrectDiffsInto(dst []int, xs, ys []int, w int) []int {
+	mask := 1<<uint(w) - 1
+	dst = dst[:0]
+	for _, x := range xs {
+		for _, y := range ys {
+			dst = append(dst, (y-x)&mask)
+		}
+	}
+	return sortDedup(dst)
+}
+
+// CorrectSignedProducts returns the deduplicated set of expected
+// outputs for a signed multiplication instance: operands are decoded as
+// two's complement (x in xw bits, y in yw bits), multiplied over the
+// integers, and the product re-encoded in xw+yw bits — exactly the
+// register semantics of the sign-corrected Fourier multiplier. Go ints
+// are two's complement, so masking a negative product yields its
+// encoding directly.
+func CorrectSignedProducts(xs, ys []int, xw, yw int) map[int]bool {
+	mask := 1<<uint(xw+yw) - 1
+	out := make(map[int]bool, len(xs)*len(ys))
+	for _, x := range xs {
+		for _, y := range ys {
+			out[(SignedValue(x, xw)*SignedValue(y, yw))&mask] = true
+		}
+	}
+	return out
+}
+
+// CorrectSignedProductsInto is the pooled-buffer companion of
+// CorrectSignedProducts: sorted, deduplicated, reusing dst.
+func CorrectSignedProductsInto(dst []int, xs, ys []int, xw, yw int) []int {
+	mask := 1<<uint(xw+yw) - 1
+	dst = dst[:0]
+	for _, x := range xs {
+		for _, y := range ys {
+			dst = append(dst, (SignedValue(x, xw)*SignedValue(y, yw))&mask)
+		}
+	}
+	return sortDedup(dst)
+}

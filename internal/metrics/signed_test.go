@@ -1,0 +1,156 @@
+package metrics_test
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"qfarith/internal/metrics"
+)
+
+func TestSignedValue(t *testing.T) {
+	cases := []struct{ v, w, want int }{
+		{0, 4, 0},
+		{7, 4, 7},
+		{8, 4, -8},
+		{15, 4, -1},
+		{1, 1, -1},
+		{127, 8, 127},
+		{128, 8, -128},
+		{255, 8, -1},
+	}
+	for _, c := range cases {
+		if got := metrics.SignedValue(c.v, c.w); got != c.want {
+			t.Errorf("SignedValue(%d, %d) = %d, want %d", c.v, c.w, got, c.want)
+		}
+	}
+	// Round-trip: every signed value re-encodes to its own bits.
+	for w := 1; w <= 10; w++ {
+		mask := 1<<uint(w) - 1
+		for v := -(1 << uint(w-1)); v < 1<<uint(w-1); v++ {
+			if got := metrics.SignedValue(v&mask, w); got != v {
+				t.Fatalf("w=%d: SignedValue(%d&mask) = %d, want %d", w, v, got, v)
+			}
+		}
+	}
+}
+
+// TestCorrectDiffsSignedConsistency pins the two's-complement claim the
+// subtraction workload rests on: the modular unsigned difference set
+// equals the signed difference of the decoded operands wrapped into w
+// bits, for every operand pair.
+func TestCorrectDiffsSignedConsistency(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 19))
+	for trial := 0; trial < 200; trial++ {
+		w := 2 + rng.IntN(8)
+		mask := 1<<uint(w) - 1
+		xs := []int{rng.IntN(1 << uint(w)), rng.IntN(1 << uint(w))}
+		ys := []int{rng.IntN(1 << uint(w)), rng.IntN(1 << uint(w))}
+		got := metrics.CorrectDiffs(xs, ys, w)
+		want := map[int]bool{}
+		for _, x := range xs {
+			for _, y := range ys {
+				d := metrics.SignedValue(y, w) - metrics.SignedValue(x, w)
+				want[d&mask] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %v vs %v", trial, got, want)
+		}
+		for v := range want {
+			if !got[v] {
+				t.Fatalf("trial %d: missing %d in %v", trial, v, got)
+			}
+		}
+	}
+}
+
+func TestCorrectDiffsPinned(t *testing.T) {
+	// 4-bit: 3 − 5 = −2 → 14; 3 − 12(−4) = 7 → 7.
+	got := metrics.CorrectDiffs([]int{5, 12}, []int{3}, 4)
+	if len(got) != 2 || !got[14] || !got[7] {
+		t.Errorf("diffs = %v, want {14, 7}", got)
+	}
+}
+
+func TestCorrectSignedProductsPinned(t *testing.T) {
+	// 2-bit operands into a 4-bit product register.
+	cases := []struct {
+		x, y int
+		want int
+	}{
+		{3, 3, 1},  // (−1)·(−1) = 1
+		{2, 1, 14}, // (−2)·1 = −2 → 14
+		{2, 2, 4},  // (−2)·(−2) = 4
+		{1, 1, 1},  // 1·1 = 1
+		{0, 3, 0},  // 0·(−1) = 0
+		{3, 1, 15}, // (−1)·1 = −1 → 15
+	}
+	for _, c := range cases {
+		got := metrics.CorrectSignedProducts([]int{c.x}, []int{c.y}, 2, 2)
+		if len(got) != 1 || !got[c.want] {
+			t.Errorf("signed product %d×%d = %v, want {%d}", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+// TestCorrectSignedProductsBruteForce checks the masked-int encoding
+// against an explicit re-encode of the integer product.
+func TestCorrectSignedProductsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 29))
+	for trial := 0; trial < 200; trial++ {
+		xw := 1 + rng.IntN(6)
+		yw := 1 + rng.IntN(6)
+		mask := 1<<uint(xw+yw) - 1
+		xs := []int{rng.IntN(1 << uint(xw)), rng.IntN(1 << uint(xw))}
+		ys := []int{rng.IntN(1 << uint(yw)), rng.IntN(1 << uint(yw))}
+		got := metrics.CorrectSignedProducts(xs, ys, xw, yw)
+		want := map[int]bool{}
+		for _, x := range xs {
+			for _, y := range ys {
+				p := metrics.SignedValue(x, xw) * metrics.SignedValue(y, yw)
+				enc := p
+				if enc < 0 {
+					enc += mask + 1
+				}
+				want[enc&mask] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %v vs %v", trial, got, want)
+		}
+		for v := range want {
+			if !got[v] {
+				t.Fatalf("trial %d: missing %d in %v", trial, v, got)
+			}
+		}
+	}
+}
+
+// TestSignedIntoMatchesMapForms pins the pooled builders against the
+// map-returning originals, sorted and deduplicated.
+func TestSignedIntoMatchesMapForms(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 37))
+	buf := make([]int, 0, 1)
+	for trial := 0; trial < 200; trial++ {
+		w := 2 + rng.IntN(7)
+		xs := []int{rng.IntN(1 << uint(w)), rng.IntN(1 << uint(w))}
+		ys := []int{rng.IntN(1 << uint(w)), rng.IntN(1 << uint(w))}
+
+		check := func(name string, got []int, want map[int]bool) {
+			t.Helper()
+			if !slices.IsSorted(got) || len(got) != len(want) {
+				t.Fatalf("trial %d %s: %v vs map %v", trial, name, got, want)
+			}
+			for _, v := range got {
+				if !want[v] {
+					t.Fatalf("trial %d %s: %d not in %v", trial, name, v, want)
+				}
+			}
+		}
+		buf = metrics.CorrectDiffsInto(buf, xs, ys, w)
+		check("diffs", buf, metrics.CorrectDiffs(xs, ys, w))
+		buf = metrics.CorrectSignedProductsInto(buf, xs, ys, w, w)
+		check("products", buf, metrics.CorrectSignedProducts(xs, ys, w, w))
+	}
+}

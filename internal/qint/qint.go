@@ -154,6 +154,41 @@ func FromSigned(v, width int) int {
 	return v
 }
 
+// NewSignedBasis returns the order-1 qinteger holding the signed value
+// v encoded in two's complement on width qubits. Panics when v is
+// unrepresentable, like FromSigned.
+func NewSignedBasis(width, v int) QInt {
+	return NewBasis(width, FromSigned(v, width))
+}
+
+// NewSignedUniform returns an evenly-distributed superposition over the
+// given distinct signed values, each encoded in two's complement on
+// width qubits.
+func NewSignedUniform(width int, values ...int) QInt {
+	encoded := make([]int, len(values))
+	for i, v := range values {
+		encoded[i] = FromSigned(v, width)
+	}
+	return NewUniform(width, encoded...)
+}
+
+// SignedValues returns the terms decoded as two's complement, ascending
+// by signed value.
+func (q QInt) SignedValues() []int {
+	out := make([]int, 0, len(q.Terms))
+	for _, t := range q.Terms {
+		out = append(out, TwosComplement(t.Value, q.Width))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SignedRange returns the representable signed interval [lo, hi] of a
+// width-bit two's-complement register.
+func SignedRange(width int) (lo, hi int) {
+	return -(1 << uint(width-1)), 1<<uint(width-1) - 1
+}
+
 // Product returns the joint amplitude vector of independent qintegers,
 // with qs[0] occupying the least significant bits — the multi-register
 // initial states the experiments inject.

@@ -1,0 +1,59 @@
+package qint_test
+
+import (
+	"testing"
+
+	"qfarith/internal/qint"
+)
+
+func TestTwosComplementRoundTrip(t *testing.T) {
+	for w := 1; w <= 8; w++ {
+		lo, hi := qint.SignedRange(w)
+		if lo != -(1<<uint(w-1)) || hi != 1<<uint(w-1)-1 {
+			t.Fatalf("SignedRange(%d) = [%d, %d]", w, lo, hi)
+		}
+		for v := lo; v <= hi; v++ {
+			enc := qint.FromSigned(v, w)
+			if enc < 0 || enc >= 1<<uint(w) {
+				t.Fatalf("FromSigned(%d, %d) = %d out of register range", v, w, enc)
+			}
+			if got := qint.TwosComplement(enc, w); got != v {
+				t.Fatalf("w=%d: decode(encode(%d)) = %d", w, v, got)
+			}
+		}
+	}
+}
+
+func TestNewSignedBasis(t *testing.T) {
+	q := qint.NewSignedBasis(4, -3)
+	if len(q.Terms) != 1 || q.Terms[0].Value != 13 {
+		t.Errorf("NewSignedBasis(4, -3) terms = %v, want value 13", q.Terms)
+	}
+	if got := q.SignedValues(); len(got) != 1 || got[0] != -3 {
+		t.Errorf("SignedValues = %v, want [-3]", got)
+	}
+}
+
+func TestNewSignedUniform(t *testing.T) {
+	q := qint.NewSignedUniform(4, 5, -1, -8)
+	got := q.SignedValues()
+	want := []int{-8, -1, 5}
+	if len(got) != len(want) {
+		t.Fatalf("SignedValues = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SignedValues = %v, want %v", got, want)
+		}
+	}
+	// Encoded register values back the decoded set: -1 → 15, -8 → 8.
+	seen := map[int]bool{}
+	for _, term := range q.Terms {
+		seen[term.Value] = true
+	}
+	for _, enc := range []int{5, 15, 8} {
+		if !seen[enc] {
+			t.Errorf("encoded value %d missing from terms %v", enc, q.Terms)
+		}
+	}
+}
