@@ -194,37 +194,12 @@ func exitSweepErr(err error, run *runstore.Run) {
 	exit(1)
 }
 
-// sweepSpec is the hashed identity of a sweep: every field that
-// determines point results. Scheduling knobs (workers, batch width,
-// output paths) are deliberately excluded — they cannot change results
-// (the batched engine is bit-identical at every width), so a resumed
-// run may vary them freely.
-type sweepSpec struct {
-	Command   string
-	Geometry  experiment.Geometry
-	Depths    []int
-	Axes      []experiment.ErrorAxis
-	Orders    [][2]int
-	Rates1Q   []float64
-	Rates2Q   []float64
-	Instances int
-	Shots     int
-	Traj      int
-	Seed      uint64
-	Backend   string
-	// Pipeline is the compile.Config hash: two pass configurations with
-	// different compiled output hash differently, so -resume refuses a
-	// run whose pass list or coupling changed.
-	Pipeline string
-	// Scorers lists the additional metrics the sweep evaluates (the
-	// -scorers flag, minus the always-on margin). Extra scorers change
-	// checkpoint payloads, so they are part of the run's identity;
-	// omitempty keeps every pre-existing margin-only hash unchanged.
-	Scorers []string `json:",omitempty"`
-}
-
-func (sf sweepFlags) spec(command string, geo experiment.Geometry, depths []int) sweepSpec {
-	return sweepSpec{
+// spec assembles the sweep's hashed identity. The struct itself lives
+// in internal/experiment (SweepSpec) because the qfarithd job API
+// builds the very same value: equal specs mean equal config hashes,
+// which is what lets the CLI resume a daemon-created run directory.
+func (sf sweepFlags) spec(command string, geo experiment.Geometry, depths []int) experiment.SweepSpec {
+	return experiment.SweepSpec{
 		Command: command, Geometry: geo, Depths: depths,
 		Axes: sf.axes, Orders: sf.orderSets,
 		Rates1Q: sf.rates1q, Rates2Q: sf.rates2q,
@@ -505,33 +480,13 @@ func runFigure(args []string, geo experiment.Geometry, depths []int, name string
 	defer sf.prof.start()()
 	// The panel set — and with it the full grid's checkpoint keys — is
 	// fixed before anything runs, so the key list can be recorded for
-	// merge-time gap detection and shard ownership filtering.
-	type panelJob struct {
-		label string
-		pc    experiment.PanelConfig
-	}
-	var panels []panelJob
-	var allKeys []string
-	for _, orders := range sf.orderSets {
-		for _, axis := range sf.axes {
-			rates := sf.rates1q
-			if axis == experiment.Axis2Q {
-				rates = sf.rates2q
-			}
-			pc := experiment.PanelConfig{
-				Geometry: geo, Axis: axis,
-				OrderX: orders[0], OrderY: orders[1],
-				Rates: rates, Depths: depths,
-				Budget: sf.budget, Seed: sf.seed,
-				Pipeline: sf.pipeline,
-				Scorers:  sf.scorers,
-			}
-			label := fmt.Sprintf("%s_%s_%d%d", name, axis, orders[0], orders[1])
-			panels = append(panels, panelJob{label: label, pc: pc})
-			allKeys = append(allKeys, pc.Keys(label)...)
-		}
-	}
-	run := sf.openRun(name, sf.spec(name, geo, depths), allKeys)
+	// merge-time gap detection and shard ownership filtering. The
+	// enumeration is shared with merge-runs and the qfarithd executor
+	// (experiment.SweepSpec.Panels), so every consumer agrees on panel
+	// labels, grid keys, and seeds.
+	spec := sf.spec(name, geo, depths)
+	panels, allKeys := spec.Panels(sf.pipeline, sf.budget.Workers)
+	run := sf.openRun(name, spec, allKeys)
 	artifactDir := sf.outDir
 	if run != nil {
 		artifactDir = run.Dir()
@@ -553,7 +508,7 @@ func runFigure(args []string, geo experiment.Geometry, depths []int, name string
 	tracker := newSweepTracker(len(sf.shard.OwnedKeys(allKeys)))
 	defer tracker.stop()
 	for _, pj := range panels {
-		label, pc := pj.label, pj.pc
+		label, pc := pj.Label, pj.Config
 		owned := len(sf.shard.OwnedKeys(pc.Keys(label)))
 		if sf.shard.Enabled() {
 			fmt.Printf("== panel %s (%d rates x %d depths; shard %s owns %d) ==\n",

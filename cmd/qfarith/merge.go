@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"qfarith/internal/compile"
 	"qfarith/internal/experiment"
 	"qfarith/internal/runstore"
 )
@@ -54,7 +55,7 @@ func runMergeRuns(args []string) {
 	// Final-CSV regeneration needs the recorded sweep spec; run
 	// directories created before spec sidecars existed merge fine but
 	// re-render through a resume instead.
-	var spec sweepSpec
+	var spec experiment.SweepSpec
 	ok, err := runstore.ReadSpec(*out, &spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -78,32 +79,21 @@ func runMergeRuns(args []string) {
 		exit(1)
 	}
 	onExit(func() { run.Close() })
-	for _, orders := range spec.Orders {
-		for _, axis := range spec.Axes {
-			rates := spec.Rates1Q
-			if axis == experiment.Axis2Q {
-				rates = spec.Rates2Q
-			}
-			pc := experiment.PanelConfig{
-				Geometry: spec.Geometry, Axis: axis,
-				OrderX: orders[0], OrderY: orders[1],
-				Rates: rates, Depths: spec.Depths,
-				Budget:  experiment.Budget{Instances: spec.Instances, Shots: spec.Shots, Trajectories: spec.Traj},
-				Seed:    spec.Seed,
-				Scorers: spec.Scorers,
-			}
-			label := fmt.Sprintf("%s_%s_%d%d", spec.Command, axis, orders[0], orders[1])
-			res, err := experiment.PanelFromCheckpoints(pc, label, run)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				exit(1)
-			}
-			path := filepath.Join(*out, label+".csv")
-			if err := runstore.WriteArtifact(path, []byte(res.CSV())); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				exit(1)
-			}
-			fmt.Printf("wrote %s\n", path)
+	// CSV regeneration never runs panels, so the pipeline config and
+	// worker bound are irrelevant — zero values select the shared
+	// enumeration's defaults.
+	panels, _ := spec.Panels(compile.Config{}, 0)
+	for _, pj := range panels {
+		res, err := experiment.PanelFromCheckpoints(pj.Config, pj.Label, run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(1)
 		}
+		path := filepath.Join(*out, pj.Label+".csv")
+		if err := runstore.WriteArtifact(path, []byte(res.CSV())); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
 	}
 }

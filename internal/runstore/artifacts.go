@@ -1,0 +1,102 @@
+package runstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ArtifactInfo describes one file inside a run directory, as reported
+// by ListArtifacts. Checksum is the sha256 footer WriteArtifact
+// appended, when the file carries one; files without a footer (the
+// manifest, the checkpoint log, sidecars) list with Checksum empty and
+// Verified false.
+type ArtifactInfo struct {
+	Name     string    `json:"name"`
+	Size     int64     `json:"size"`
+	ModTime  time.Time `json:"mod_time"`
+	Checksum string    `json:"sha256,omitempty"`
+	// Verified is true when the file ends in a checksum footer that
+	// matches its payload — i.e. ReadArtifact would accept it.
+	Verified bool `json:"verified"`
+}
+
+// ListArtifacts enumerates the regular files of a run directory in
+// sorted name order: the serving layer of the job API lists exactly
+// this. Subdirectories are skipped — run directories are flat by
+// construction, and refusing to descend keeps the listing aligned with
+// what OpenArtifact will serve.
+func ListArtifacts(dir string) ([]ArtifactInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: list artifacts: %w", err)
+	}
+	infos := make([]ArtifactInfo, 0, len(entries))
+	for _, e := range entries {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			return nil, fmt.Errorf("runstore: list artifacts: %w", err)
+		}
+		ai := ArtifactInfo{Name: e.Name(), Size: fi.Size(), ModTime: fi.ModTime()}
+		if sum, ok := artifactChecksum(filepath.Join(dir, e.Name())); ok {
+			ai.Checksum = sum
+			ai.Verified = VerifyArtifact(filepath.Join(dir, e.Name())) == nil
+		}
+		infos = append(infos, ai)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos, nil
+}
+
+// artifactChecksum extracts the recorded checksum from a file's footer
+// line without verifying it; ok is false when no footer is present.
+func artifactChecksum(path string) (string, bool) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", false
+	}
+	trimmed := bytes.TrimRight(raw, "\n")
+	idx := bytes.LastIndexByte(trimmed, '\n')
+	footer := trimmed[idx+1:]
+	if !bytes.HasPrefix(footer, []byte(footerPrefix)) {
+		return "", false
+	}
+	return string(footer[len(footerPrefix):]), true
+}
+
+// ErrBadArtifactName reports an artifact name that could escape the
+// run directory; the serving layer maps it to a client error.
+var ErrBadArtifactName = fmt.Errorf("runstore: artifact name must be a plain file name")
+
+// OpenArtifact opens the named file inside a run directory for
+// serving. The name must be a bare file name — path separators, "..",
+// and absolute paths are rejected with ErrBadArtifactName — so an HTTP
+// handler can pass client input through without a traversal risk. The
+// caller owns the returned file and must close it.
+func OpenArtifact(dir, name string) (*os.File, error) {
+	if name == "" || name == "." || name == ".." ||
+		strings.ContainsAny(name, `/\`) || filepath.Base(name) != name {
+		return nil, ErrBadArtifactName
+	}
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if !fi.Mode().IsRegular() {
+		f.Close()
+		return nil, fmt.Errorf("runstore: %s is not a regular file", name)
+	}
+	return f, nil
+}

@@ -1,0 +1,96 @@
+package runstore
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestListArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteArtifact(filepath.Join(dir, "panel.csv"), []byte("a,b\n1,2\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupted artifact must still list, but with Verified false.
+	corrupt := filepath.Join(dir, "torn.csv")
+	if err := WriteArtifact(corrupt, []byte("x,y\n3,4\n")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(corrupt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xff
+	if err := os.WriteFile(corrupt, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	infos, err := ListArtifacts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 3 {
+		t.Fatalf("listed %d files, want 3 (got %+v)", len(infos), infos)
+	}
+	byName := map[string]ArtifactInfo{}
+	for _, ai := range infos {
+		byName[ai.Name] = ai
+	}
+	if ai := byName["panel.csv"]; !ai.Verified || ai.Checksum == "" || ai.Size == 0 {
+		t.Errorf("panel.csv = %+v, want verified with checksum", ai)
+	}
+	if ai := byName["manifest.json"]; ai.Verified || ai.Checksum != "" {
+		t.Errorf("manifest.json = %+v, want unverified without checksum", ai)
+	}
+	if ai := byName["torn.csv"]; ai.Verified || ai.Checksum == "" {
+		t.Errorf("torn.csv = %+v, want checksum present but Verified false", ai)
+	}
+	// Sorted order.
+	if infos[0].Name != "manifest.json" || infos[1].Name != "panel.csv" || infos[2].Name != "torn.csv" {
+		t.Errorf("listing not sorted: %v %v %v", infos[0].Name, infos[1].Name, infos[2].Name)
+	}
+}
+
+func TestOpenArtifact(t *testing.T) {
+	dir := t.TempDir()
+	want := []byte("hello\n")
+	if err := os.WriteFile(filepath.Join(dir, "out.csv"), want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	secret := filepath.Join(t.TempDir(), "secret")
+	if err := os.WriteFile(secret, []byte("no"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := OpenArtifact(dir, "out.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(f)
+	f.Close()
+	if err != nil || string(got) != string(want) {
+		t.Fatalf("read %q, %v", got, err)
+	}
+
+	for _, bad := range []string{
+		"", ".", "..", "../secret", "sub/file", `sub\file`, "/etc/passwd",
+		"..\\secret",
+	} {
+		if _, err := OpenArtifact(dir, bad); err != ErrBadArtifactName {
+			t.Errorf("OpenArtifact(%q) err = %v, want ErrBadArtifactName", bad, err)
+		}
+	}
+	if _, err := OpenArtifact(dir, "missing.csv"); !os.IsNotExist(err) {
+		t.Errorf("missing file err = %v, want IsNotExist", err)
+	}
+	if _, err := OpenArtifact(filepath.Dir(dir), filepath.Base(dir)); err == nil {
+		t.Error("OpenArtifact served a directory")
+	}
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"qfarith/internal/backend"
+	"qfarith/internal/compile"
+	"qfarith/internal/experiment"
+	"qfarith/internal/runstore"
+	"qfarith/internal/telemetry"
+)
+
+// SweepExecutor runs jobs through the exact machinery the CLI uses:
+// SweepSpec.Panels enumerates the grid, RunPanelCheckpointCtx computes
+// it against a checkpoint log in an ordinary runstore run directory,
+// and runstore.WriteArtifact writes the final CSVs. Nothing in the path
+// knows it is running under a daemon, which is what makes an
+// HTTP-submitted fixed-seed job byte-identical to the same sweep run
+// from the command line — the invariant the daemon-e2e CI job checks.
+type SweepExecutor struct {
+	// Runner is the shared backend worker pool all jobs execute on.
+	Runner *backend.Runner
+	// DataDir holds one run directory per job, named by job ID.
+	DataDir string
+	// Backend is the backend name recorded in manifests (it must be the
+	// name Runner was built from, as it is part of the config hash).
+	Backend string
+	// Workers bounds per-panel instance parallelism, like the CLI's
+	// -workers; 0 = GOMAXPROCS.
+	Workers int
+}
+
+// Execute runs one attempt of j to completion, cancellation, or error.
+// The job's run directory is created on the first attempt and resumed —
+// hash-verified, checkpoints restored — on retries, so transient
+// failures never recompute finished points. A ctx cancellation unwinds
+// after the checkpoint log has absorbed every completed point
+// (AppendPoint syncs before acknowledging), leaving a directory the CLI
+// can resume.
+func (e *SweepExecutor) Execute(ctx context.Context, j *Job) error {
+	dir := filepath.Join(e.DataDir, j.ID)
+	hash, err := runstore.HashConfig(j.Spec)
+	if err != nil {
+		return err
+	}
+	panels, allKeys := j.Spec.Panels(compile.Config{}, e.Workers)
+
+	var run *runstore.Run
+	if _, statErr := os.Stat(filepath.Join(dir, "manifest.json")); statErr == nil {
+		// A previous attempt claimed the directory; resume its
+		// checkpoints. Resume re-verifies the config hash, so a stale
+		// directory from an unrelated job is an error, not silent reuse.
+		run, err = runstore.Resume(dir, hash)
+	} else {
+		run, err = runstore.Create(dir, runstore.Manifest{
+			Command: j.Spec.Command, ConfigHash: hash, Seed: j.Spec.Seed,
+			Backend: e.Backend, Pipeline: compile.Config{}.Hash(),
+			GitDescribe: runstore.GitDescribe("."),
+			StartTime:   time.Now().UTC(),
+		})
+		if err == nil {
+			if serr := runstore.WriteSpec(dir, j.Spec); serr != nil {
+				run.Close()
+				return serr
+			}
+			if serr := runstore.WriteExpectedKeys(dir, allKeys); serr != nil {
+				run.Close()
+				return serr
+			}
+		}
+	}
+	if err != nil {
+		// Run-directory claims and resumes fail on I/O hiccups and
+		// leftover locks as readily as on real corruption; retrying is
+		// cheap because nothing has been computed yet.
+		return MarkTransient(err)
+	}
+	j.setDir(dir)
+	defer func() {
+		run.Close()
+		// Snapshot process metrics beside the artifacts, as the CLI's
+		// exit path does; best-effort.
+		_ = telemetry.Default().WriteSnapshotFile(filepath.Join(dir, "telemetry.json"))
+	}()
+
+	j.resetProgress(len(allKeys))
+
+	for _, pj := range panels {
+		label := pj.Label
+		res, err := experiment.RunPanelCheckpointCtx(ctx, e.Runner, pj.Config, label, run,
+			func(p experiment.Progress) { j.observe(label, p) })
+		if err != nil {
+			return fmt.Errorf("panel %s: %w", label, err)
+		}
+		if err := runstore.WriteArtifact(filepath.Join(dir, label+".csv"), []byte(res.CSV())); err != nil {
+			return MarkTransient(fmt.Errorf("panel %s: %w", label, err))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,369 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Submission errors the API layer maps to HTTP status codes.
+var (
+	// ErrQueueFull is admission control: the queue is at capacity
+	// (HTTP 429). The check is keyed off the same per-priority queued
+	// counts the qfarithd_sched_queue_depth gauge publishes.
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining rejects submissions during graceful shutdown
+	// (HTTP 503).
+	ErrDraining = errors.New("server: scheduler draining")
+)
+
+// transientError marks an executor failure worth retrying: the job is
+// re-queued (bounded by MaxRetries) and the next attempt resumes the
+// run directory's checkpoints, so retried work is not recomputed.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// MarkTransient wraps an error so the scheduler retries the job.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// ExecFunc runs one job attempt. A ctx cancellation must propagate out
+// as ctx.Err() (wrapped is fine) after flushing checkpoints — the
+// scheduler distinguishes cancel/drain from failure by errors.Is(err,
+// context.Canceled).
+type ExecFunc func(ctx context.Context, j *Job) error
+
+// Scheduler owns the job queue and the worker pool draining it.
+//
+// Dispatch order is priority first (higher wins), then per-client
+// fairness (the client with the fewest dispatched jobs wins), then
+// submission order. Selection is a linear scan over the queue under the
+// lock: queues here are bounded and human-scale (MaxQueue defaults to
+// tens), and a scan keeps the fairness key — a usage counter that
+// changes on every dispatch — out of any heap invariant.
+type Scheduler struct {
+	exec       ExecFunc
+	maxQueue   int
+	maxRetries int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*Job
+	running  map[string]*Job
+	usage    map[string]int // jobs dispatched per client, ever
+	seq      uint64
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// NewScheduler starts a scheduler with the given worker count (minimum
+// 1), queue capacity, and per-job transient retry budget. exec runs
+// each attempt.
+func NewScheduler(workers, maxQueue, maxRetries int, exec ExecFunc) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if maxQueue < 1 {
+		maxQueue = 1
+	}
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	s := &Scheduler{
+		exec:       exec,
+		maxQueue:   maxQueue,
+		maxRetries: maxRetries,
+		running:    make(map[string]*Job),
+		usage:      make(map[string]int),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit admits a job into the queue, or rejects it with ErrQueueFull /
+// ErrDraining.
+func (s *Scheduler) Submit(j *Job) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ErrDraining
+	}
+	if len(s.queue) >= s.maxQueue {
+		s.mu.Unlock()
+		jobsTotal("rejected").Inc()
+		return ErrQueueFull
+	}
+	s.seq++
+	j.mu.Lock()
+	j.seq = s.seq
+	j.mu.Unlock()
+	s.queue = append(s.queue, j)
+	queueDepthGauge(j.Priority).Inc()
+	s.mu.Unlock()
+	jobsTotal("submitted").Inc()
+	s.cond.Signal()
+	return nil
+}
+
+// Cancel cancels a job by ID: a queued job is removed and finalized
+// immediately; a running job has its context cancelled and finalizes
+// once the executor unwinds (checkpoints flushed). found reports
+// whether the job was queued or running here; cancelling an
+// already-terminal job is a no-op with found false.
+func (s *Scheduler) Cancel(id string) (found bool) {
+	s.mu.Lock()
+	for i, j := range s.queue {
+		if j.ID == id {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			queueDepthGauge(j.Priority).Dec()
+			s.mu.Unlock()
+			jobsTotal("cancelled").Inc()
+			j.setState(StateCancelled, "cancelled while queued")
+			return true
+		}
+	}
+	if j, ok := s.running[id]; ok {
+		j.mu.Lock()
+		j.userCancelled = true
+		cancel := j.cancelRunning
+		j.mu.Unlock()
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return true
+	}
+	s.mu.Unlock()
+	return false
+}
+
+// QueueDepth returns the current number of queued jobs (all
+// priorities).
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Draining reports whether Drain has begun.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully shuts the scheduler down: queued jobs finalize as
+// cancelled, running jobs get their contexts cancelled — the executor
+// flushes checkpoints and unwinds, leaving resumable run directories —
+// and Drain blocks until every worker exits or ctx expires. The drain
+// duration is recorded in qfarithd_drain_seconds.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	start := time.Now()
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("server: already draining")
+	}
+	s.draining = true
+	dropped := s.queue
+	s.queue = nil
+	var cancels []func()
+	for _, j := range s.running {
+		j.mu.Lock()
+		if j.cancelRunning != nil {
+			cancels = append(cancels, j.cancelRunning)
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+
+	for _, j := range dropped {
+		queueDepthGauge(j.Priority).Dec()
+		jobsTotal("cancelled").Inc()
+		j.setState(StateCancelled, "daemon draining")
+	}
+	for _, cancel := range cancels {
+		cancel()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		metricDrainSeconds.Observe(time.Since(start).Seconds())
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain timed out: %w", ctx.Err())
+	}
+}
+
+// pickLocked selects and removes the best queued job: highest priority,
+// then least-served client, then earliest submission. Caller holds mu.
+func (s *Scheduler) pickLocked() *Job {
+	best := -1
+	for i, j := range s.queue {
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := s.queue[best]
+		switch {
+		case j.Priority != b.Priority:
+			if j.Priority > b.Priority {
+				best = i
+			}
+		case s.usage[j.Client] != s.usage[b.Client]:
+			if s.usage[j.Client] < s.usage[b.Client] {
+				best = i
+			}
+		case j.seq < b.seq:
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	j := s.queue[best]
+	s.queue = append(s.queue[:best], s.queue[best+1:]...)
+	return j
+}
+
+// worker is the dispatch loop: wait for work, pick fairly, execute,
+// finalize or re-queue on transient failure.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if s.draining {
+			s.mu.Unlock()
+			return
+		}
+		j := s.pickLocked()
+		if j == nil {
+			s.mu.Unlock()
+			continue
+		}
+		queueDepthGauge(j.Priority).Dec()
+		s.usage[j.Client]++
+		s.running[j.ID] = j
+		// Install the attempt's cancel before releasing the scheduler
+		// lock: Drain and Cancel read it under the same lock, so there
+		// is no window where a running job is invisible to them.
+		ctx, cancel := context.WithCancel(context.Background())
+		j.mu.Lock()
+		j.cancelRunning = cancel
+		j.mu.Unlock()
+		s.mu.Unlock()
+
+		s.runOne(ctx, cancel, j)
+
+		s.mu.Lock()
+		delete(s.running, j.ID)
+		s.mu.Unlock()
+	}
+}
+
+// runOne executes a single attempt of j and routes the outcome:
+// terminal state, or re-queue for another attempt on transient failure.
+func (s *Scheduler) runOne(ctx context.Context, cancel context.CancelFunc, j *Job) {
+	defer cancel()
+	j.mu.Lock()
+	queuedFor := time.Since(j.submitted).Seconds()
+	j.mu.Unlock()
+	metricJobQueueSeconds.Observe(queuedFor)
+
+	j.setState(StateRunning, "")
+	metricRunning.Inc()
+	start := time.Now()
+	err := s.exec(ctx, j)
+	metricJobRunSeconds.Observe(time.Since(start).Seconds())
+	metricRunning.Dec()
+	j.mu.Lock()
+	j.cancelRunning = nil
+	userCancelled := j.userCancelled
+	j.mu.Unlock()
+
+	switch {
+	case err == nil:
+		jobsTotal("done").Inc()
+		j.setState(StateDone, "")
+	case errors.Is(err, context.Canceled):
+		if userCancelled {
+			jobsTotal("cancelled").Inc()
+			j.setState(StateCancelled, "cancelled while running")
+		} else {
+			// Drain: the run directory keeps its flushed checkpoints
+			// and resumes via the CLI or an identical resubmission.
+			jobsTotal("interrupted").Inc()
+			j.setState(StateInterrupted, "interrupted by daemon drain")
+		}
+	case IsTransient(err) && s.retry(j):
+		// Re-queued; the next attempt resumes from checkpoints.
+	default:
+		jobsTotal("failed").Inc()
+		j.setState(StateFailed, err.Error())
+	}
+}
+
+// retry re-queues a transiently failed job if its retry budget and the
+// scheduler's lifecycle allow; it reports whether the job was
+// re-queued.
+func (s *Scheduler) retry(j *Job) bool {
+	j.mu.Lock()
+	if j.attempts >= s.maxRetries {
+		j.mu.Unlock()
+		return false
+	}
+	j.attempts++
+	j.retries++
+	j.mu.Unlock()
+
+	// Broadcast the queued transition before the job becomes pickable:
+	// once it is in the queue another worker may dispatch it
+	// immediately, and subscribers must never see running→queued out of
+	// order.
+	j.setState(StateQueued, "")
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		jobsTotal("cancelled").Inc()
+		j.setState(StateCancelled, "daemon draining")
+		return true
+	}
+	s.seq++
+	j.mu.Lock()
+	j.seq = s.seq
+	j.mu.Unlock()
+	s.queue = append(s.queue, j)
+	queueDepthGauge(j.Priority).Inc()
+	s.mu.Unlock()
+	jobsTotal("retried").Inc()
+	s.cond.Signal()
+	return true
+}

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// SSE event types on the job event stream. Every stream opens with a
+// state event, interleaves progress events as grid cells complete, and
+// is closed by the server after the final state event of a terminal
+// transition (clients can stop reconnect loops on stream end).
+const (
+	EventState    = "state"
+	EventProgress = "progress"
+)
+
+// Event is one server-sent event: Type becomes the `event:` field and
+// Data is JSON-encoded into `data:`.
+type Event struct {
+	Type string
+	Data any
+}
+
+// broadcaster fans job events out to any number of SSE subscribers.
+// Sends never block the producer: progress callbacks fire under the
+// sweep's bookkeeping lock, so a stalled subscriber must shed events
+// rather than stall the simulation. Each subscriber channel is a
+// bounded buffer with drop-oldest overflow — a slow reader sees a
+// thinned progress stream, and the handler synthesizes the final state
+// from the job itself after close, so terminal delivery never depends
+// on buffer space.
+type broadcaster struct {
+	mu     sync.Mutex
+	subs   map[chan Event]struct{}
+	closed bool
+}
+
+const subscriberBuffer = 64
+
+func newBroadcaster() *broadcaster {
+	return &broadcaster{subs: make(map[chan Event]struct{})}
+}
+
+// subscribe registers a new listener. done is true when the stream has
+// already closed: the channel is returned closed and drained.
+func (b *broadcaster) subscribe() (ch chan Event, done bool) {
+	ch = make(chan Event, subscriberBuffer)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		close(ch)
+		return ch, true
+	}
+	b.subs[ch] = struct{}{}
+	return ch, false
+}
+
+// unsubscribe removes a listener registered by subscribe. Idempotent;
+// safe after close.
+func (b *broadcaster) unsubscribe(ch chan Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.subs, ch)
+}
+
+// send delivers an event to every subscriber without blocking. When a
+// subscriber's buffer is full the oldest buffered event is discarded to
+// make room, preferring recent progress over stale.
+func (b *broadcaster) send(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	for ch := range b.subs {
+		select {
+		case ch <- ev:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- ev:
+			default:
+			}
+		}
+	}
+}
+
+// close ends the stream: every subscriber's channel is closed after its
+// buffered events, and future subscribers get an already-closed
+// channel.
+func (b *broadcaster) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for ch := range b.subs {
+		close(ch)
+	}
+	b.subs = nil
+}
+
+// writeEvent frames one SSE event and flushes it to the client.
+func writeEvent(w http.ResponseWriter, fl http.Flusher, ev Event) error {
+	payload, err := json.Marshal(ev.Data)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, payload); err != nil {
+		return err
+	}
+	fl.Flush()
+	return nil
+}

@@ -32,18 +32,19 @@ var publishExpvar = sync.OnceFunc(func() {
 	}))
 })
 
-// Serve starts the debug server on addr ("localhost:6060", ":0", ...),
-// exposing reg (nil selects the Default registry). The server runs on a
-// background goroutine until Close.
-func Serve(addr string, reg *Registry) (*Server, error) {
+// NewMux returns the debug mux Serve binds: Prometheus text on
+// /metrics, the expvar tree on /debug/vars, and the pprof handlers
+// under /debug/pprof/. It is exposed separately so a process that
+// already owns an HTTP listener — qfarithd's job API — can mount the
+// debug surface on it instead of binding a second port: two servers
+// racing for one address was the original port-conflict failure mode
+// when the API address and -telemetry-addr coincided. nil selects the
+// Default registry.
+func NewMux(reg *Registry) *http.ServeMux {
 	if reg == nil {
 		reg = Default()
 	}
 	publishExpvar()
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
-	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -55,6 +56,21 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the debug server on addr ("localhost:6060", ":0", ...),
+// exposing reg (nil selects the Default registry). The server runs on a
+// background goroutine until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		reg = Default()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := NewMux(reg)
 	s := &Server{
 		reg: reg,
 		ln:  ln,
